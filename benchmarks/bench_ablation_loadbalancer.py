@@ -1,0 +1,103 @@
+"""A1 -- ablation: load-balancing strategies under rising offered load.
+
+Section 2.2: "Individual, statically placed sensors may overload or starve,
+and the protection of the network will be uneven ... High-bandwidth load
+balancers may allow the IDS to collect traffic higher up in the network ...
+The result will be more efficient use of sensors."
+
+Same four-sensor farm, four strategies, skewed traffic matrix (most flows
+target one subnet): measures loss and Jain-fairness of sensor assignment.
+"""
+
+import numpy as np
+
+from repro.eval.throughput import make_load_trace
+from repro.ids.loadbalancer import (
+    DynamicBalancer,
+    HashBalancer,
+    StaticPlacementBalancer,
+)
+from repro.ids.sensor import Sensor
+from repro.net.address import IPv4Address
+from repro.report.render import text_table
+from repro.sim.engine import Engine
+
+from conftest import emit
+
+
+class _Null:
+    sensitivity = 0.5
+
+    def process(self, p, t):
+        return []
+
+    def reset(self):
+        pass
+
+
+def make_farm(eng, n=4):
+    return [Sensor(eng, f"s{i}", _Null(), ops_rate=8e6, header_ops=500.0,
+                   per_byte_ops=10.0, max_queue_delay_s=0.05,
+                   lethal_drop_rate=None)
+            for i in range(n)]
+
+
+def skewed_trace(rng, rate, duration):
+    """80% of flows to one /26, the rest spread over the /24."""
+    hot = IPv4Address("10.0.0.5")
+    cold = [IPv4Address(f"10.0.0.{65 + i}") for i in range(8)]
+    trace = make_load_trace(rng, rate, duration, hot)
+    records = []
+    for i, (t, pkt) in enumerate(trace):
+        if i % 5 == 0:
+            pkt.dst = cold[i % len(cold)]
+        records.append((t, pkt))
+    return records
+
+
+def run_strategy(strategy, rate=20_000.0, duration=0.5, seed=4):
+    eng = Engine()
+    sensors = make_farm(eng)
+    if strategy == "static":
+        lb = StaticPlacementBalancer(
+            eng, "lb", sensors,
+            subnets=["10.0.0.0/26", "10.0.0.64/26", "10.0.0.128/26",
+                     "10.0.0.192/26"])
+    elif strategy == "hash":
+        lb = HashBalancer(eng, "lb", sensors)
+    else:
+        lb = DynamicBalancer(eng, "lb", sensors)
+    rng = np.random.default_rng(seed)
+    for t, pkt in skewed_trace(rng, rate, duration):
+        eng.schedule_at(t, lb.ingest, pkt)
+    eng.run(until=duration + 1.0)
+    dropped = sum(s.dropped_overload for s in sensors)
+    offered = lb.forwarded + lb.dropped
+    starved = sum(1 for s in sensors if s.received == 0)
+    return {
+        "loss": dropped / max(offered, 1),
+        "evenness": lb.balance_evenness(),
+        "starved": starved,
+    }
+
+
+def test_a1_loadbalancer_ablation(benchmark):
+    outcomes = {s: run_strategy(s) for s in ("static", "hash", "dynamic")}
+    rows = [(s, f"{o['loss']:.4f}", f"{o['evenness']:.3f}", o["starved"])
+            for s, o in outcomes.items()]
+    emit("a1_ablation_loadbalancer",
+         text_table(("Strategy", "Loss ratio", "Jain evenness",
+                     "Starved sensors"), rows,
+                    title="A1: load-balancing strategies under skewed load"))
+
+    # static placement overloads the hot sensor and starves others
+    assert outcomes["static"]["evenness"] < outcomes["dynamic"]["evenness"]
+    assert outcomes["static"]["loss"] > outcomes["dynamic"]["loss"]
+    assert outcomes["static"]["starved"] >= 1
+    # dynamic balances best
+    assert outcomes["dynamic"]["evenness"] >= outcomes["hash"]["evenness"] - 0.05
+    assert outcomes["dynamic"]["starved"] == 0
+
+    benchmark.pedantic(run_strategy, args=("dynamic",),
+                       kwargs={"rate": 10_000.0, "duration": 0.3},
+                       rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+"""A3 -- ablation: passive SPAN tap vs in-line sensor placement.
+
+Section 2.2 names the two costs of getting traffic to the IDS: "induced
+latency of traffic (because the load balancer is in-line or because traffic
+must be mirrored to it)".  The two deployment choices fail differently:
+
+* **in-line** -- every packet pays a forwarding delay, but the sensor sees
+  everything the path carries (up to the element's own capacity);
+* **passive SPAN** -- production traffic is untouched, but the mirror port
+  is a finite link: beyond its rate, *copies* are silently dropped and the
+  sensor loses visibility exactly when attacks ride the overload.
+
+Measured at rising offered rates: visibility fraction (tap-delivered /
+offered) and added production-path latency.
+"""
+
+import numpy as np
+
+from repro.eval.throughput import make_load_trace
+from repro.net.address import IPv4Address
+from repro.net.link import Link
+from repro.net.node import Switch
+from repro.report.render import text_table
+from repro.sim.engine import Engine
+
+from conftest import emit
+
+DST = IPv4Address("10.0.0.5")
+SPAN_BW = 20e6          # an underprovisioned 20 Mbps mirror port
+INLINE_DELAY = 200e-6   # the in-line element's forwarding delay
+
+
+def probe(rate_pps: float, inline: bool, seed: int = 6):
+    eng = Engine()
+    seen = []
+    delivered = []
+
+    if inline:
+        # production path: ingress -> inline sensor hop -> egress link
+        egress = Link(eng, bandwidth_bps=1e9, propagation_delay=0.0,
+                      sink=lambda p: delivered.append(eng.now))
+
+        def path(pkt):
+            seen.append(pkt)
+            eng.schedule(INLINE_DELAY, egress.send, pkt)
+    else:
+        sw = Switch(eng)
+        egress = Link(eng, bandwidth_bps=1e9, propagation_delay=0.0,
+                      sink=lambda p: delivered.append(eng.now))
+        span = Link(eng, bandwidth_bps=SPAN_BW, propagation_delay=0.0,
+                    queue_bytes=64 * 1024, sink=seen.append)
+        sw.attach(DST, egress)
+        sw.add_span(span)
+        path = sw.receive
+
+    rng = np.random.default_rng(seed)
+    trace = make_load_trace(rng, rate_pps, 0.5, DST, payload_mode="logical",
+                            payload_size=800)
+    sends = []
+    for t, pkt in trace:
+        sends.append(t)
+        eng.schedule_at(t, path, pkt)
+    eng.run(until=2.0)
+
+    visibility = len(seen) / len(trace)
+    mean_latency = float(np.mean([d - s for s, d in zip(sends, delivered)]))
+    return visibility, mean_latency
+
+
+def run_sweep():
+    rows = []
+    outcomes = {}
+    for rate in (1000.0, 4000.0, 16000.0):
+        for inline in (False, True):
+            vis, lat = probe(rate, inline)
+            label = "in-line" if inline else "span"
+            rows.append((f"{rate:.0f}", label, f"{vis:.3f}",
+                         f"{lat * 1e6:.0f}"))
+            outcomes[(rate, label)] = (vis, lat)
+    return rows, outcomes
+
+
+def test_a3_tap_placement(benchmark):
+    rows, outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("a3_ablation_tap",
+         text_table(("Offered pps", "Placement", "Visibility",
+                     "Added latency (us)"), rows,
+                    title="A3: passive SPAN vs in-line sensor placement"))
+
+    # low rate: both see everything; only in-line adds latency
+    assert outcomes[(1000.0, "span")][0] == 1.0
+    assert outcomes[(1000.0, "in-line")][0] == 1.0
+    assert outcomes[(1000.0, "in-line")][1] > outcomes[(1000.0, "span")][1]
+    # high rate: the mirror port saturates (800B * 16kpps >> 20 Mbps) and
+    # the passive sensor goes partially blind; in-line still sees all
+    assert outcomes[(16000.0, "span")][0] < 0.5
+    assert outcomes[(16000.0, "in-line")][0] == 1.0
+    # production latency stays flat for the SPAN deployment at every rate
+    assert outcomes[(16000.0, "span")][1] < 50e-6

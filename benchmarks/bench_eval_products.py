@@ -1,0 +1,39 @@
+"""E1 -- the section-3.2 prototype evaluation: four products, full scorecard.
+
+Regenerates the complete weighted evaluation under the real-time-cluster
+requirement profile and prints the ranking.  Benchmarks a single-product
+evaluation pass.
+"""
+
+from repro.core.report import format_weighted_results
+from repro.core.scoring import rank_products
+from repro.eval.runner import EvaluationOptions, evaluate_product
+from repro.products import NidProduct
+from repro.report.tables import scorecard_table
+
+from conftest import emit
+
+QUICK = EvaluationOptions(
+    scenario_duration_s=40.0, train_duration_s=15.0, n_hosts=4,
+    throughput_rates_pps=(500, 4000, 32000), throughput_probe_s=0.4)
+
+
+def test_e1_full_product_evaluation(benchmark, field_eval):
+    text = (format_weighted_results(field_eval.results) + "\n\n" +
+            scorecard_table(field_eval.scorecard, table_only=False))
+    emit("e1_eval_products", text)
+
+    # a complete scorecard: all 52 metrics scored for all 4 products
+    for product in field_eval.scorecard.products:
+        assert field_eval.scorecard.missing(product) == []
+    assert len(field_eval.scorecard) == 4 * 52
+
+    # qualitative ranking under the real-time profile: the scalable,
+    # reactive, accurate anomaly farm leads; the research prototype trails
+    ranking = field_eval.ranking()
+    assert ranking[0] == "sim-manhunt"
+    assert ranking[-1] == "sim-aafid"
+
+    # benchmark one full single-product pass (quick configuration)
+    benchmark.pedantic(evaluate_product, args=(NidProduct, QUICK),
+                       rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""F1 -- Figure 1: the generalized architecture, exercised end-to-end.
+
+Renders the deployed architecture and benchmarks packet transit through the
+full pipeline (border tap -> balancer -> sensors -> analyzer -> monitor).
+"""
+
+import numpy as np
+
+from repro.eval.testbed import EvalTestbed
+from repro.eval.throughput import make_load_trace
+from repro.products import RealSecureProduct
+from repro.report.figures import figure1_architecture
+
+from conftest import emit
+
+
+def test_fig1_architecture_pipeline(benchmark):
+    testbed = EvalTestbed(RealSecureProduct(), n_hosts=4, train_duration_s=0)
+    pipeline = testbed.deployment.pipeline
+    emit("fig1_architecture", figure1_architecture(pipeline))
+
+    rng = np.random.default_rng(1)
+    trace = make_load_trace(rng, 2000.0, 1.0, testbed.node_addresses[0])
+
+    def run_pipeline():
+        tb = EvalTestbed(RealSecureProduct(), n_hosts=4, train_duration_s=0)
+        trace.replay(tb.engine, tb.deployment.ingest)
+        tb.engine.run(until=2.0)
+        return tb.deployment.packets_processed
+
+    processed = benchmark(run_pipeline)
+    assert processed == len(trace)  # full architecture keeps up at 2k pps

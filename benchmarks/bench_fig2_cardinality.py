@@ -1,0 +1,52 @@
+"""F2 -- Figure 2: the subprocess cardinality rules, accepted and enforced.
+
+Renders the cardinality table and benchmarks the wiring validator on a
+large legal deployment; asserts every illegal shape is rejected.
+"""
+
+import pytest
+
+from repro.errors import CardinalityError
+from repro.ids.component import Component, Subprocess, validate_wiring
+from repro.report.figures import figure2_cardinality
+
+from conftest import emit
+
+
+class _C(Component):
+    def __init__(self, name, kind):
+        super().__init__(name)
+        self.kind = kind
+
+
+def build_large_legal(n_sensors=32, n_analyzers=8):
+    lb = _C("lb", Subprocess.LOAD_BALANCER)
+    sensors = [_C(f"s{i}", Subprocess.SENSOR) for i in range(n_sensors)]
+    analyzers = [_C(f"a{i}", Subprocess.ANALYZER) for i in range(n_analyzers)]
+    monitor = _C("m", Subprocess.MONITOR)
+    manager = _C("mgr", Subprocess.MANAGER)
+    links = [(lb, s) for s in sensors]
+    links += [(s, a) for s in sensors for a in analyzers]
+    links += [(a, monitor) for a in analyzers]
+    links.append((monitor, manager))
+    mgmt = [(manager, c) for c in (lb, *sensors, *analyzers, monitor)]
+    return [lb, *sensors, *analyzers, monitor, manager], links, mgmt
+
+
+def test_fig2_cardinality(benchmark):
+    emit("fig2_cardinality", figure2_cardinality())
+    comps, links, mgmt = build_large_legal()
+    benchmark(validate_wiring, comps, links, mgmt)
+
+    # every illegal shape from Figure 2 is rejected
+    s, a, m = (_C("s", Subprocess.SENSOR), _C("a", Subprocess.ANALYZER),
+               _C("m", Subprocess.MONITOR))
+    b1, b2 = _C("b1", Subprocess.LOAD_BALANCER), _C("b2", Subprocess.LOAD_BALANCER)
+    with pytest.raises(CardinalityError):   # sensor with two balancers
+        validate_wiring([b1, b2, s, a, m],
+                        [(b1, s), (b2, s), (s, a), (a, m)])
+    with pytest.raises(CardinalityError):   # skip-level link
+        validate_wiring([s, a, m], [(s, m), (s, a), (a, m)])
+    with pytest.raises(CardinalityError):   # two monitors
+        m2 = _C("m2", Subprocess.MONITOR)
+        validate_wiring([s, a, m, m2], [(s, a), (a, m), (a, m2)])

@@ -1,0 +1,32 @@
+"""F3 -- Figure 3: false positive / false negative quantities on a run.
+
+Computes the A/D/T sets and the two Figure-3 ratios for every evaluated
+product, and benchmarks the ground-truth scoring pass.
+"""
+
+from repro.eval.ground_truth import score_alerts
+from repro.eval.testbed import EvalTestbed
+from repro.products import NidProduct
+from repro.report.figures import figure3_error_ratios
+
+from conftest import emit
+
+
+def test_fig3_error_ratios(benchmark, field_eval):
+    blocks = []
+    for name, evaluation in field_eval.evaluations.items():
+        blocks.append(figure3_error_ratios(evaluation.accuracy))
+    emit("fig3_error_ratios", "\n\n".join(blocks))
+
+    for evaluation in field_eval.evaluations.values():
+        acc = evaluation.accuracy
+        acc.check_invariants()
+        assert acc.transactions >= len(acc.actual)
+
+    # benchmark the scoring pass itself on a fresh run's alert stream
+    testbed = EvalTestbed(NidProduct(), n_hosts=4, train_duration_s=0)
+    scenario = testbed.make_scenario(duration_s=40.0)
+    testbed.run_scenario(scenario)
+    monitor = testbed.deployment.monitor
+    benchmark(score_alerts, "sim-nid", scenario, monitor.alerts,
+              monitor.notifications)

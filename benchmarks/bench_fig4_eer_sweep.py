@@ -1,0 +1,44 @@
+"""F4 -- Figure 4: error-rate curves vs sensitivity and the Equal Error Rate.
+
+Sweeps the adjustable-sensitivity products and regenerates the two opposed
+error curves.  Shape assertions: FNR falls and FPR rises with sensitivity;
+the anomaly product reaches a crossing (EER); the coarse signature product
+need not (the paper: look for systems where equality *can* be achieved).
+"""
+
+from repro.eval.accuracy import sensitivity_sweep
+from repro.products import ManhuntProduct, NidProduct
+from repro.report.figures import figure4_error_curves
+
+from conftest import emit
+
+SENSITIVITIES = (0.05, 0.15, 0.3, 0.5, 0.7, 0.85, 1.0)
+
+
+def run_sweeps():
+    mh = sensitivity_sweep(lambda s: ManhuntProduct(sensitivity=s),
+                           "sim-manhunt", SENSITIVITIES, duration_s=60.0)
+    nid = sensitivity_sweep(lambda s: NidProduct(sensitivity=s),
+                            "sim-nid", SENSITIVITIES, duration_s=60.0)
+    return mh, nid
+
+
+def test_fig4_eer_sweep(benchmark):
+    mh, nid = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    emit("fig4_eer_sweep",
+         figure4_error_curves(mh) + "\n\n" + figure4_error_curves(nid))
+    # machine-readable series for external plotting
+    from repro.report.render import series_to_csv
+    emit("fig4_eer_sweep_csv", series_to_csv(
+        mh.sensitivities, [mh.fpr, mh.fnr, nid.fpr, nid.fnr],
+        ["manhunt_fpr", "manhunt_fnr", "nid_fpr", "nid_fnr"],
+        x_label="sensitivity"))
+
+    # monotone-opposed tails for the anomaly product
+    assert mh.fnr[0] >= mh.fnr[-1]
+    assert mh.fpr[-1] >= mh.fpr[0]
+    # and a crossing exists: the adjustable-sensitivity story of Figure 4
+    assert mh.eer() is not None
+    # the signature product's FNR floors at its novel-attack blind spot, so
+    # its curves stay apart at every swept sensitivity
+    assert min(nid.fnr) > 0.0

@@ -1,0 +1,32 @@
+"""F5 -- Figure 5: the weighted-score computation S_j = sum(U_ij * W_ij).
+
+Evaluates the formula over the full scorecard and benchmarks it; property
+checks cover linearity and negative weights.
+"""
+
+from repro.core.scoring import weighted_scores
+from repro.report.figures import figure5_weighted_scores
+
+from conftest import emit
+
+
+def test_fig5_weighted_scores(benchmark, field_eval):
+    card, weights = field_eval.scorecard, field_eval.weights
+
+    results = benchmark(weighted_scores, card, weights, None, False)
+    emit("fig5_weighted_scores", figure5_weighted_scores(results, weights))
+
+    # totals decompose into the three class scores
+    for r in results:
+        assert r.total == sum(r.class_scores.values())
+    # linearity: doubling weights doubles totals
+    doubled = weighted_scores(card, {k: 2 * v for k, v in weights.items()},
+                              strict=False)
+    for r1, r2 in zip(results, doubled):
+        assert abs(r2.total - 2 * r1.total) < 1e-9
+    # negative weights flip a metric's contribution
+    neg = weighted_scores(card, {"Observed False Positive Ratio": -1.0},
+                          strict=False)
+    for r in neg:
+        score = card.score(r.product, "Observed False Positive Ratio")
+        assert r.total == -score

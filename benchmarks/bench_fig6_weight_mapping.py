@@ -1,0 +1,31 @@
+"""F6 -- Figure 6: the requirement-to-metric weighting worked example.
+
+Reproduces the figure's printed metric weights {3, 6.5, 5, 0, 0, 8} from
+requirement weights {1, 2.5, 3, 5} and benchmarks the derivation over a
+realistic profile against the full catalog.
+"""
+
+from repro.core.catalog import default_catalog
+from repro.core.profiles import realtime_cluster_requirements
+from repro.core.weighting import derive_weights, figure6_example
+from repro.report.figures import figure6_weight_mapping
+
+from conftest import emit
+
+
+def test_fig6_weight_mapping(benchmark):
+    reqs, weights = figure6_example()
+    emit("fig6_weight_mapping", figure6_weight_mapping(reqs, weights))
+
+    # the paper's printed numbers, exactly
+    assert weights == {"M1": 3.0, "M2": 6.5, "M3": 5.0,
+                       "M4": 0.0, "M5": 0.0, "M6": 8.0}
+
+    catalog = default_catalog()
+    profile = realtime_cluster_requirements()
+    derived = benchmark(derive_weights, profile, catalog)
+    assert len(derived) == len(catalog)
+    # every metric weight is the sum of its contributing requirements
+    contributions = profile.contributions()
+    for metric, reqs_for in contributions.items():
+        assert derived[metric] == sum(r.weight for r in reqs_for)

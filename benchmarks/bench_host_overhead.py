@@ -1,0 +1,29 @@
+"""E2 -- section-2.1 host-overhead calibration.
+
+"Nominal event-logging support for host IDSs has been shown to consume
+three to five percent of the monitored host's resources.  Logging compliant
+with Department of Defense C2-level security requires as much as twenty
+percent of the host's processing power."
+"""
+
+from repro.eval.overhead import logging_level_overhead
+from repro.ids.host import LoggingLevel
+from repro.report.render import text_table
+
+from conftest import emit
+
+
+def test_e2_host_overhead(benchmark):
+    nominal = benchmark(logging_level_overhead, LoggingLevel.NOMINAL, 10.0)
+    c2 = logging_level_overhead(LoggingLevel.C2, 10.0)
+
+    rows = [
+        ("nominal event logging", f"{nominal:.1%}", "3-5% (paper)"),
+        ("C2-level audit", f"{c2:.1%}", "~20% (paper)"),
+    ]
+    emit("e2_host_overhead",
+         text_table(("Logging level", "Measured host CPU", "Paper"),
+                    rows, title="E2: host-based IDS overhead (section 2.1)"))
+
+    assert 0.03 <= nominal <= 0.05
+    assert abs(c2 - 0.20) <= 0.01

@@ -1,0 +1,52 @@
+"""E3 -- lesson 1: random flood data is not a valid IDS load test.
+
+"If packets with random data are used to generate background traffic, then
+the IDS that analyzes both the header information and message data will not
+be realistically tested" (section 4).
+
+Offers identical packet rates and sizes with protocol-realistic versus
+random content to a deep-inspection product and a light-touch flow product:
+only the content-inspecting sensor's capacity depends on the content.
+"""
+
+from repro.eval.throughput import probe_rate
+from repro.products import ManhuntProduct, NidProduct
+from repro.report.render import text_table
+
+from conftest import emit
+
+DEEP_RATE = 8000.0
+LIGHT_RATE = 40000.0
+
+
+def run_contrast():
+    rows = []
+    outcomes = {}
+    for label, product_cls, rate in (("deep-inspection (sim-nid)",
+                                      NidProduct, DEEP_RATE),
+                                     ("flow-level (sim-manhunt)",
+                                      ManhuntProduct, LIGHT_RATE)):
+        for mode in ("http", "random", "logical"):
+            probe = probe_rate(product_cls(), rate, duration_s=0.5,
+                               payload_mode=mode, seed=3)
+            rows.append((label, mode, f"{rate:.0f}",
+                         f"{probe.loss_ratio:.4f}"))
+            outcomes[(label, mode)] = probe.loss_ratio
+    return rows, outcomes
+
+
+def test_e3_payload_realism(benchmark):
+    rows, outcomes = benchmark.pedantic(run_contrast, rounds=1, iterations=1)
+    emit("e3_payload_realism",
+         text_table(("Sensor class", "Payload content", "Offered pps",
+                     "Loss ratio"), rows,
+                    title="E3: payload realism vs measured capacity "
+                          "(lesson 1)"))
+
+    deep = "deep-inspection (sim-nid)"
+    light = "flow-level (sim-manhunt)"
+    # a random-data flood understates the deep sensor's load: it measures
+    # *more* capacity (less loss) than realistic content produces
+    assert outcomes[(deep, "http")] > outcomes[(deep, "random")]
+    # the light-touch sensor is (nearly) content-insensitive
+    assert abs(outcomes[(light, "http")] - outcomes[(light, "random")]) < 0.05

@@ -1,0 +1,62 @@
+"""E4 -- section-3.3 weighting guidance: the same scorecard, three customers.
+
+"The evaluation may be reused with the metrics given different weighting
+according to the needs of the next customer."  Re-weights the E1 scorecard
+under the real-time, distributed-trust and e-commerce profiles without
+re-measuring anything, and shows how emphasis (and potentially ranking)
+shifts.
+"""
+
+from repro.core.profiles import (
+    distributed_requirements,
+    ecommerce_requirements,
+    realtime_cluster_requirements,
+)
+from repro.core.scoring import rank_products, weighted_scores
+from repro.core.weighting import derive_weights
+from repro.report.render import text_table
+
+from conftest import emit
+
+
+def test_e4_requirement_profiles(benchmark, field_eval):
+    card = field_eval.scorecard
+    catalog = card.catalog
+    profiles = {
+        "realtime-cluster": realtime_cluster_requirements(),
+        "distributed-trust": distributed_requirements(),
+        "ecommerce-web": ecommerce_requirements(),
+    }
+
+    def reweigh_all():
+        out = {}
+        for name, profile in profiles.items():
+            weights = derive_weights(profile, catalog)
+            out[name] = weighted_scores(card, weights, strict=False)
+        return out
+
+    all_results = benchmark(reweigh_all)
+
+    rows = []
+    for name, results in all_results.items():
+        for rank, r in enumerate(rank_products(results), start=1):
+            rows.append((name, rank, r.product, f"{r.total:.1f}"))
+    emit("e4_requirement_profiles",
+         text_table(("Profile", "Rank", "Product", "Total"), rows,
+                    title="E4: rankings under three requirement profiles"))
+
+    # structural checks on the weighting guidance itself
+    w_rt = derive_weights(profiles["realtime-cluster"], catalog)
+    w_dist = derive_weights(profiles["distributed-trust"], catalog)
+    # real-time: reaction channels carry the top weight
+    top_rt = max(w_rt.values())
+    assert w_rt["Timeliness"] == top_rt
+    assert w_rt["Firewall Interaction"] == top_rt
+    # distributed: FNR outweighs FPR ("reducing the false negative ratio to
+    # the lowest possible level accepting an increased false positive ...")
+    assert w_dist["Observed False Negative Ratio"] > \
+        w_dist["Observed False Positive Ratio"]
+    # and the totals genuinely differ between customer profiles
+    totals = {name: tuple(r.total for r in results)
+              for name, results in all_results.items()}
+    assert totals["realtime-cluster"] != totals["ecommerce-web"]

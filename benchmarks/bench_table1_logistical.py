@@ -1,0 +1,26 @@
+"""T1 -- Table 1: selected logistical metrics, definitions and product scores.
+
+Regenerates the paper's Table 1 (metric definitions) and the logistical
+slice of the prototype scorecard for the four simulated products.
+"""
+
+from repro.core.metric import MetricClass
+from repro.report.tables import scorecard_table, table1
+
+from conftest import emit
+
+
+def test_table1_logistical(benchmark, field_eval):
+    def render():
+        return table1(field_eval.scorecard.catalog) + "\n\n" + scorecard_table(
+            field_eval.scorecard, MetricClass.LOGISTICAL)
+
+    text = benchmark(render)
+    emit("table1_logistical", text)
+    # the six Table-1 metrics are present with a score for every product
+    for name in ("Distributed Management", "Ease of Configuration",
+                 "Ease of Policy Maintenance", "License Management",
+                 "Outsourced Solution", "Platform Requirements"):
+        assert name in text
+        for product in field_eval.scorecard.products:
+            assert field_eval.scorecard.score(product, name) is not None

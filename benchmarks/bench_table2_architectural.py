@@ -1,0 +1,31 @@
+"""T2 -- Table 2: selected architectural metrics, definitions and scores.
+
+Shape check: the dynamic-balancer product tops Scalable Load-balancing; the
+host-agent product tops Host-based and bottoms Network-based.
+"""
+
+from repro.core.metric import MetricClass
+from repro.report.tables import scorecard_table, table2
+
+from conftest import emit
+
+
+def test_table2_architectural(benchmark, field_eval):
+    card = field_eval.scorecard
+
+    def render():
+        return table2(card.catalog) + "\n\n" + scorecard_table(
+            card, MetricClass.ARCHITECTURAL)
+
+    text = benchmark(render)
+    emit("table2_architectural", text)
+
+    slb = {p: card.score(p, "Scalable Load-balancing") for p in card.products}
+    assert slb["sim-manhunt"] == 4          # intelligent dynamic LB
+    assert slb["sim-aafid"] == 0            # none
+    assert card.score("sim-aafid", "Host-based") == 4
+    assert card.score("sim-aafid", "Network-based") == 0
+    assert card.score("sim-nid", "Network-based") == 4
+    # throughput ordering: the flow-based farm leads, single deep box trails
+    st = {p: card.score(p, "System Throughput") for p in card.products}
+    assert st["sim-manhunt"] >= st["sim-nid"]

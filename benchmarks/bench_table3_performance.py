@@ -1,0 +1,53 @@
+"""T3 -- Table 3: selected performance metrics, definitions and scores.
+
+The full laboratory battery behind this slice: accuracy scenario, load
+sweep, latency, timeliness and host overhead.  Shape checks follow the
+paper's qualitative story.
+"""
+
+from repro.core.metric import MetricClass
+from repro.report.tables import scorecard_table, table3
+
+from conftest import emit
+
+
+def test_table3_performance(benchmark, field_eval):
+    card = field_eval.scorecard
+
+    def render():
+        return table3(card.catalog) + "\n\n" + scorecard_table(
+            card, MetricClass.PERFORMANCE)
+
+    text = benchmark(render)
+    emit("table3_performance", text)
+
+    # accuracy: anomaly product has the best FNR, worst FPR
+    fnr = {p: card.score(p, "Observed False Negative Ratio")
+           for p in card.products}
+    fpr = {p: card.score(p, "Observed False Positive Ratio")
+           for p in card.products}
+    assert fnr["sim-manhunt"] == max(fnr.values())
+    assert fpr["sim-manhunt"] == min(fpr.values())
+    # the host-agent prototype misses most of the corpus
+    assert fnr["sim-aafid"] == min(fnr.values())
+
+    # failure behaviour reproduces the three anchors
+    err = {p: card.score(p, "Error Reporting and Recovery")
+           for p in card.products}
+    assert err["sim-realsecure"] == 4   # restart + near-real-time report
+    assert err["sim-nid"] == 2          # cold reboot
+
+    # host impact: C2-audit agents are the heaviest
+    impact = {p: card.score(p, "Operational Performance Impact")
+              for p in card.products}
+    assert impact["sim-aafid"] == min(impact.values())
+
+    # response interactions match declared capabilities
+    assert card.score("sim-nid", "Firewall Interaction") == 4
+    assert card.score("sim-aafid", "Firewall Interaction") == 0
+    assert card.score("sim-manhunt", "SNMP Interaction") >= 2
+
+    # load metrics: the sensor farm sustains the most
+    zl = {p: field_eval.evaluations[p].throughput.zero_loss_pps
+          for p in card.products}
+    assert zl["sim-manhunt"] >= zl["sim-nid"]

@@ -1,0 +1,42 @@
+"""E6 -- how subjective is the weighting, really?
+
+Section 3.3 concedes that "mapping these requirements to numeric weights
+will always be somewhat subjective".  This bench quantifies the exposure
+for the E1 evaluation: Monte-Carlo perturbation of the real-time-cluster
+weights and the pairwise decision margins.
+"""
+
+import pytest
+
+from repro.core.robustness import pairwise_margin, ranking_robustness
+from repro.report.render import text_table
+
+from conftest import emit
+
+
+def test_e6_weight_robustness(benchmark, field_eval):
+    card, weights = field_eval.scorecard, field_eval.weights
+
+    report = benchmark.pedantic(
+        ranking_robustness, args=(card, weights),
+        kwargs={"samples": 400, "perturbation": 0.3, "seed": 0},
+        rounds=1, iterations=1)
+
+    ranking = list(report.baseline_ranking)
+    rows = [("winner stability (±30% weights)",
+             f"{report.winner_stability:.1%}"),
+            ("full-ranking stability", f"{report.ranking_stability:.1%}")]
+    for product, rate in sorted(report.win_rates.items(), key=lambda kv: -kv[1]):
+        rows.append((f"win rate: {product}", f"{rate:.1%}"))
+    for a, b in zip(ranking, ranking[1:]):
+        rows.append((f"margin {a} vs {b}",
+                     f"{pairwise_margin(card, weights, a, b):+.3f}"))
+    emit("e6_weight_robustness",
+         text_table(("Quantity", "Value"), rows,
+                    title="E6: ranking robustness under weight perturbation"))
+
+    # the E1 winner is not a knife-edge artifact of subjective weights
+    assert report.winner_stability >= 0.9
+    assert sum(report.win_rates.values()) == pytest.approx(1.0)
+    # margins are ordered consistently with the ranking
+    assert pairwise_margin(card, weights, ranking[0], ranking[-1]) > 0

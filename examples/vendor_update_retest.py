@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Continual re-evaluation across a vendor update (section 4).
+
+"Continual re-evaluation is especially important since vendors rapidly
+update their products."  This example evaluates the single-box signature
+product twice -- version 5.0 as shipped, then a hypothetical 5.1 patch that
+fixes the failure behaviour (service restart instead of cold reboot) and
+doubles the inspection budget -- records both runs in an
+:class:`~repro.core.longitudinal.EvaluationHistory`, and reports the score
+deltas and the weighted trend for a real-time customer.
+
+Run:  python examples/vendor_update_retest.py   (~30 s)
+"""
+
+import dataclasses
+
+from repro.core import (
+    EvaluationHistory,
+    Scorecard,
+    default_catalog,
+    derive_weights,
+    realtime_cluster_requirements,
+)
+from repro.eval.observer import fill_scorecard
+from repro.eval.runner import EvaluationOptions, evaluate_product
+from repro.ids.sensor import FailureMode
+from repro.products import NidProduct
+from repro.products.base import Deployment
+
+OPTIONS = EvaluationOptions(
+    n_hosts=4, scenario_duration_s=50.0, train_duration_s=15.0,
+    throughput_rates_pps=(500, 2000, 8000, 32000), throughput_probe_s=0.5)
+
+
+class NidProduct51(NidProduct):
+    """The hypothetical 5.1 patch release."""
+
+    facts = dataclasses.replace(NidProduct.facts, version="5.1",
+                                policy_maintenance="central-live")
+
+    def deploy(self, engine, testbed) -> Deployment:
+        deployment = super().deploy(engine, testbed)
+        for sensor in deployment.sensors:
+            sensor.ops_rate *= 2.0                      # faster engine
+            sensor.failure_mode = FailureMode.RESTART   # fixed failure path
+            sensor.restart_time_s = 2.0
+            sensor.lethal_drop_rate = 3000.0
+        return deployment
+
+
+def evaluate_version(product_cls) -> Scorecard:
+    card = Scorecard(default_catalog())
+    evaluation = evaluate_product(product_cls, OPTIONS)
+    fill_scorecard(card, evaluation.bundle.deployment.facts,
+                   evaluation.bundle)
+    return card
+
+
+def main() -> None:
+    history = EvaluationHistory("sim-nid")
+    print("Evaluating version 5.0 ...")
+    history.add("5.0", "2001-10-01", evaluate_version(NidProduct))
+    print("Evaluating version 5.1 ...")
+    history.add("5.1", "2002-03-01", evaluate_version(NidProduct51))
+
+    print("\nScore deltas 5.0 -> 5.1:")
+    for delta in history.deltas("5.0", "5.1"):
+        arrow = "improved" if delta.improvement else (
+            "REGRESSED" if delta.regression else "changed")
+        print(f"  {delta.metric:38s} {delta.before} -> {delta.after} "
+              f"({arrow})")
+
+    regressions = history.regressions("5.0", "5.1")
+    print(f"\nRegressions: {len(regressions)}")
+
+    weights = derive_weights(realtime_cluster_requirements(),
+                             default_catalog())
+    print("\nWeighted trend for the real-time-cluster customer:")
+    for version, total in history.weighted_trend(weights):
+        print(f"  v{version}: {total:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable in offline environments that lack the
+``wheel`` package required by PEP-517 editable builds
+(``python setup.py develop`` or ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — metrics-based IDS evaluation for distributed real-time systems.
+
+A from-scratch reproduction of Fink, Chappell, Turner & O'Donoghue,
+"A Metrics-Based Approach to Intrusion Detection System Evaluation for
+Distributed Real-Time Systems" (WPDRTS / IPPS 2002).
+
+Top-level layout
+----------------
+``repro.core``
+    The paper's contribution: the metric catalog, discrete 0-4 scoring,
+    requirement-to-weight mapping, and the weighted scorecard.
+``repro.sim`` / ``repro.net`` / ``repro.traffic`` / ``repro.attacks``
+    The simulated testbed substrate: event kernel, network, workloads and
+    labeled attack library.
+``repro.ids``
+    The generalized network-IDS architecture (Figure 1/2): load balancer,
+    sensors, analyzers, monitor, management console, response devices.
+``repro.products``
+    Simulated stand-ins for the products the paper evaluated.
+``repro.eval``
+    Measurement procedures for the observable metrics and the full runner.
+``repro.report``
+    Regeneration of every table and figure in the paper.
+"""
+
+from .errors import (
+    CardinalityError,
+    ConfigurationError,
+    MeasurementError,
+    ReproError,
+    ScorecardError,
+    ScoreValueError,
+    SimulationError,
+    UnknownMetricError,
+    WeightingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "CardinalityError",
+    "ScorecardError",
+    "UnknownMetricError",
+    "ScoreValueError",
+    "WeightingError",
+    "MeasurementError",
+]

@@ -1,0 +1,79 @@
+"""Credential brute-force (masquerade) attacks.
+
+Section 2 of the paper lists "compromised passwords (masquerade)" among the
+insider threat vectors; the anomaly example in section 2.1 is literally
+"hundreds of login attempts within a few seconds".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.address import IPv4Address
+from ..net.tcp import build_session
+from ..traffic.payload import telnet_login
+from .base import Attack, AttackKind
+
+__all__ = ["TelnetBruteForce"]
+
+_COMMON_PASSWORDS = [
+    "password", "123456", "letmein", "admin", "root", "guest", "qwerty",
+    "changeme", "secret", "welcome", "abc123", "pass123",
+]
+
+
+class TelnetBruteForce(Attack):
+    """Rapid repeated telnet logins with candidate passwords.
+
+    Emits ``attempts`` failed login sessions back-to-back and, when
+    ``succeeds``, one final successful session (the actual masquerade).
+    Detectable by signature ("Login incorrect" repetition) and anomaly
+    (connection-rate spike to port 23 from one source).
+    """
+
+    kind = AttackKind.BRUTE_FORCE
+
+    def __init__(
+        self,
+        attacker: IPv4Address,
+        target: IPv4Address,
+        username: str = "root",
+        attempts: int = 120,
+        rate_per_s: float = 20.0,
+        succeeds: bool = True,
+    ) -> None:
+        super().__init__(description=f"telnet brute force on {target} as {username!r}")
+        if attempts < 1:
+            raise ConfigurationError("attempts must be >= 1")
+        if rate_per_s <= 0:
+            raise ConfigurationError("rate_per_s must be positive")
+        self.attacker = attacker
+        self.target = target
+        self.username = username
+        self.attempts = int(attempts)
+        self.rate_per_s = float(rate_per_s)
+        self.succeeds = succeeds
+
+    def _emit(self, rng: np.random.Generator):
+        out = []
+        gap = 1.0 / self.rate_per_s
+        total = self.attempts + (1 if self.succeeds else 0)
+        for i in range(total):
+            success = self.succeeds and i == total - 1
+            if success:
+                password = "hunter2"
+            else:
+                password = _COMMON_PASSWORDS[i % len(_COMMON_PASSWORDS)] + (
+                    str(i // len(_COMMON_PASSWORDS)) if i >= len(_COMMON_PASSWORDS) else "")
+            body = telnet_login(self.username, password, success=success)
+            pkts = build_session(
+                self.attacker, self.target,
+                int(rng.integers(1024, 65535)), 23,
+                request=body, response=b"\r\n",
+                isn_client=int(rng.integers(1, 2**31)),
+                isn_server=int(rng.integers(1, 2**31)))
+            t0 = i * gap
+            for k, pkt in enumerate(pkts):
+                out.append((t0 + k * 1e-4, pkt))
+        return out

@@ -1,0 +1,70 @@
+"""Insider misuse exploiting inter-host trust.
+
+Section 3.3: "When one host is compromised, other systems that trust it may
+be very easily compromised in ways that may look like normal interactions
+between hosts.  The result is an exploit that is difficult to detect and
+nearly impossible to root out."  This attack reproduces exactly that: valid
+cluster-protocol messages carrying an illegitimate command, from a host that
+is *supposed* to talk to the target.  It is the hardest case in the library
+and drives the paper's recommendation that distributed systems bias toward a
+low false-negative ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.address import IPv4Address
+from ..net.tcp import build_session
+from ..traffic.payload import cluster_command, cluster_telemetry
+from .base import Attack, AttackKind
+
+__all__ = ["TrustAbuse"]
+
+#: Commands a compromised node issues that no operator would: these are the
+#: only distinguishing feature, and only a content-aware, cluster-protocol
+#: fluent detector has any chance.
+ROGUE_COMMANDS = ["exfil", "disable_log", "override"]
+
+
+class TrustAbuse(Attack):
+    """Rogue control commands between trusted cluster nodes."""
+
+    kind = AttackKind.INSIDER
+    novel = True  # nothing in commercial signature sets knows this protocol
+
+    def __init__(
+        self,
+        compromised: IPv4Address,
+        target: IPv4Address,
+        node_id: int = 3,
+        commands: int = 3,
+        gap_s: float = 2.0,
+    ) -> None:
+        super().__init__(description=f"trust abuse from {compromised} to {target}")
+        if commands < 1:
+            raise ConfigurationError("commands must be >= 1")
+        if gap_s <= 0:
+            raise ConfigurationError("gap_s must be positive")
+        self.compromised = compromised
+        self.target = target
+        self.node_id = int(node_id)
+        self.commands = int(commands)
+        self.gap_s = float(gap_s)
+
+    def _emit(self, rng: np.random.Generator):
+        out = []
+        for i in range(self.commands):
+            cmd = ROGUE_COMMANDS[i % len(ROGUE_COMMANDS)]
+            req = cluster_command(self.node_id, cmd, float(rng.random()))
+            resp = cluster_telemetry(rng, self.node_id, n_samples=4)
+            pkts = build_session(
+                self.compromised, self.target,
+                int(rng.integers(1024, 65535)), 7001,
+                request=req, response=resp,
+                isn_client=int(rng.integers(1, 2**31)),
+                isn_server=int(rng.integers(1, 2**31)))
+            t0 = i * self.gap_s
+            out.extend((t0 + k * 2e-4, p) for k, p in enumerate(pkts))
+        return out

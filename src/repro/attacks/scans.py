@@ -1,0 +1,130 @@
+"""Reconnaissance attacks: port scans and host sweeps."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.address import IPv4Address
+from ..net.packet import Packet, Protocol, TcpFlags
+from .base import Attack, AttackKind
+
+__all__ = ["PortScan", "SlowPortScan", "HostSweep"]
+
+
+class PortScan(Attack):
+    """TCP SYN scan of many ports on one target.
+
+    The classic anomaly the paper's example uses ("hundreds of login
+    attempts within a few seconds" is the behavioural cousin).  Detectable
+    both by signature (SYN to closed/odd ports in bulk) and by anomaly
+    (per-source destination-port fan-out).
+    """
+
+    kind = AttackKind.PROBE
+
+    def __init__(
+        self,
+        attacker: IPv4Address,
+        target: IPv4Address,
+        ports: Sequence[int] = tuple(range(1, 1025)),
+        rate_pps: float = 200.0,
+        randomize_order: bool = True,
+    ) -> None:
+        super().__init__(description=f"SYN port scan of {target}")
+        if rate_pps <= 0:
+            raise ConfigurationError("rate_pps must be positive")
+        if not ports:
+            raise ConfigurationError("ports must be non-empty")
+        self.attacker = attacker
+        self.target = target
+        self.ports = list(ports)
+        self.rate_pps = float(rate_pps)
+        self.randomize_order = randomize_order
+
+    def _emit(self, rng: np.random.Generator):
+        ports = list(self.ports)
+        if self.randomize_order:
+            rng.shuffle(ports)
+        gap = 1.0 / self.rate_pps
+        out = []
+        for i, port in enumerate(ports):
+            t = i * gap + float(rng.uniform(0, gap * 0.2))
+            out.append((t, Packet(
+                src=self.attacker, dst=self.target,
+                sport=int(rng.integers(1024, 65535)), dport=int(port),
+                proto=Protocol.TCP, flags=TcpFlags.SYN,
+                seq=int(rng.integers(1, 2**31)))))
+        return out
+
+
+class SlowPortScan(PortScan):
+    """A low-and-slow SYN scan engineered to evade windowed thresholds.
+
+    Probes arrive slower than any realistic detection window accumulates
+    state: the portscan preprocessor's per-window distinct-port count never
+    reaches its trigger, and per-source rate baselines see one packet at a
+    time.  Exists to mark the *temporal* edge of the detectability
+    frontier, the way :class:`~repro.attacks.exploits.NovelExploit` marks
+    the content edge -- both bound the Observed False Negative Ratio from
+    below for their respective engine families.
+
+    ``novel`` is set: no shipped rule or baseline catches it at default
+    tunings (only the very aggressive odd-port heuristics graze it).
+    """
+
+    novel = True
+
+    def __init__(
+        self,
+        attacker: IPv4Address,
+        target: IPv4Address,
+        ports: Sequence[int] = tuple(range(1, 65)),
+        probe_interval_s: float = 30.0,
+    ) -> None:
+        if probe_interval_s <= 0:
+            raise ConfigurationError("probe_interval_s must be positive")
+        super().__init__(attacker, target, ports=ports,
+                         rate_pps=1.0 / probe_interval_s,
+                         randomize_order=True)
+        self.description = (f"slow SYN scan of {target} "
+                            f"(1 probe / {probe_interval_s:.0f}s)")
+
+
+class HostSweep(Attack):
+    """ICMP echo sweep across a set of hosts (who's alive?)."""
+
+    kind = AttackKind.PROBE
+
+    def __init__(
+        self,
+        attacker: IPv4Address,
+        targets: Sequence[IPv4Address],
+        rate_pps: float = 50.0,
+        probes_per_host: int = 2,
+    ) -> None:
+        super().__init__(description=f"ICMP sweep of {len(list(targets))} hosts")
+        if rate_pps <= 0:
+            raise ConfigurationError("rate_pps must be positive")
+        if probes_per_host < 1:
+            raise ConfigurationError("probes_per_host must be >= 1")
+        self.attacker = attacker
+        self.targets = list(targets)
+        if not self.targets:
+            raise ConfigurationError("targets must be non-empty")
+        self.rate_pps = float(rate_pps)
+        self.probes_per_host = int(probes_per_host)
+
+    def _emit(self, rng: np.random.Generator):
+        gap = 1.0 / self.rate_pps
+        out = []
+        i = 0
+        for target in self.targets:
+            for _ in range(self.probes_per_host):
+                out.append((i * gap, Packet(
+                    src=self.attacker, dst=target,
+                    proto=Protocol.ICMP, payload_len=56)))
+                i += 1
+        return out

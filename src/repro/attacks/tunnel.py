@@ -1,0 +1,62 @@
+"""Tunneling through benign protocols.
+
+Section 2: unauthorized access may be achieved by "tunneling in through
+'benign' protocols".  The classic example is an ICMP covert channel:
+echo-request packets whose payloads carry exfiltrated data.  Header-only
+sensors see ordinary pings; content/entropy-aware detectors notice the odd
+payload sizes and near-random content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.address import IPv4Address
+from ..net.packet import Packet, Protocol
+from .base import Attack, AttackKind
+
+__all__ = ["IcmpTunnel"]
+
+
+class IcmpTunnel(Attack):
+    """Covert data exfiltration inside ICMP echo payloads."""
+
+    kind = AttackKind.TUNNEL
+    novel = True
+
+    def __init__(
+        self,
+        inside_host: IPv4Address,
+        outside_host: IPv4Address,
+        total_bytes: int = 64_000,
+        chunk: int = 512,
+        rate_pps: float = 10.0,
+    ) -> None:
+        super().__init__(description=f"ICMP tunnel {inside_host} -> {outside_host}")
+        if total_bytes <= 0 or chunk <= 0:
+            raise ConfigurationError("total_bytes and chunk must be positive")
+        if rate_pps <= 0:
+            raise ConfigurationError("rate_pps must be positive")
+        self.inside_host = inside_host
+        self.outside_host = outside_host
+        self.total_bytes = int(total_bytes)
+        self.chunk = int(chunk)
+        self.rate_pps = float(rate_pps)
+
+    def _emit(self, rng: np.random.Generator):
+        n = (self.total_bytes + self.chunk - 1) // self.chunk
+        gap = 1.0 / self.rate_pps
+        out = []
+        for i in range(n):
+            size = min(self.chunk, self.total_bytes - i * self.chunk)
+            # "compressed/encrypted" exfil data: near-uniform bytes
+            body = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+            out.append((i * gap, Packet(
+                src=self.inside_host, dst=self.outside_host,
+                proto=Protocol.ICMP, payload=body)))
+            # the fake echo reply keeping the channel two-way
+            out.append((i * gap + 1e-3, Packet(
+                src=self.outside_host, dst=self.inside_host,
+                proto=Protocol.ICMP, payload_len=size)))
+        return out

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Print the metric-definition tables (Tables 1-3).
+``catalog``
+    List the full metric catalog, with definitions and anchors.
+``scenario``
+    Generate a canned, ground-truth-labeled evaluation scenario and save
+    it as a binary trace.
+``evaluate``
+    Run the full product-field evaluation and print the weighted ranking.
+``sweep``
+    Run a Figure-4 sensitivity sweep for one product.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+_PROFILES = ("realtime", "distributed", "ecommerce")
+_PRODUCTS = ("nid", "realsecure", "manhunt", "aafid")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Metrics-based IDS evaluation for distributed "
+                    "real-time systems (Fink et al., WPDRTS 2002)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1-3 (metric definitions)")
+
+    p_cat = sub.add_parser("catalog", help="list the metric catalog")
+    p_cat.add_argument("--all", action="store_true",
+                       help="include the defined-but-not-in-table metrics")
+    p_cat.add_argument("--human-factors", action="store_true",
+                       help="include the human-dimension extension")
+
+    p_tmpl = sub.add_parser(
+        "template",
+        help="export a blank scorecard (the paper: 'the current complete "
+             "scorecard is available from the authors')")
+    p_tmpl.add_argument("--out", required=True, help="output .json path")
+    p_tmpl.add_argument("--products", nargs="+", default=["candidate-ids"])
+    p_tmpl.add_argument("--human-factors", action="store_true")
+
+    p_scn = sub.add_parser("scenario",
+                           help="generate a labeled evaluation scenario")
+    p_scn.add_argument("--out", required=True, help="output .rtrc path")
+    p_scn.add_argument("--profile", choices=("cluster", "ecommerce"),
+                       default="cluster")
+    p_scn.add_argument("--duration", type=float, default=70.0)
+    p_scn.add_argument("--seed", type=int, default=0)
+    p_scn.add_argument("--no-dos", action="store_true",
+                       help="omit the flood attacks")
+
+    p_eval = sub.add_parser("evaluate", help="run the field evaluation")
+    p_eval.add_argument("--profile", choices=_PROFILES, default="realtime")
+    p_eval.add_argument("--quick", action="store_true")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--products", nargs="+", choices=_PRODUCTS,
+                        default=list(_PRODUCTS))
+
+    p_sweep = sub.add_parser("sweep", help="Figure-4 sensitivity sweep")
+    p_sweep.add_argument("--product", choices=("nid", "realsecure", "manhunt"),
+                         default="manhunt")
+    p_sweep.add_argument("--points", type=int, default=6,
+                         help="number of sensitivity points")
+    p_sweep.add_argument("--duration", type=float, default=50.0)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _product_factory(name: str):
+    from .products import (
+        AafidProduct,
+        ManhuntProduct,
+        NidProduct,
+        RealSecureProduct,
+    )
+    return {"nid": NidProduct, "realsecure": RealSecureProduct,
+            "manhunt": ManhuntProduct, "aafid": AafidProduct}[name]
+
+
+def _requirements(name: str):
+    from .core.profiles import (
+        distributed_requirements,
+        ecommerce_requirements,
+        realtime_cluster_requirements,
+    )
+    return {"realtime": realtime_cluster_requirements,
+            "distributed": distributed_requirements,
+            "ecommerce": ecommerce_requirements}[name]()
+
+
+def _cmd_tables(args, out) -> int:
+    from .report.tables import table1, table2, table3
+
+    print(table1(), file=out)
+    print("", file=out)
+    print(table2(), file=out)
+    print("", file=out)
+    print(table3(), file=out)
+    return 0
+
+
+def _cmd_catalog(args, out) -> int:
+    from .core.catalog import default_catalog
+    from .core.extensions import extend_catalog
+
+    catalog = default_catalog()
+    if args.human_factors:
+        catalog = extend_catalog(catalog)
+    for metric in catalog:
+        if not args.all and not metric.in_paper_table and not args.human_factors:
+            continue
+        methods = ", ".join(sorted(m.value for m in metric.methods))
+        print(f"[class {metric.metric_class.value}] {metric.name} "
+              f"({methods})", file=out)
+        print(f"    {metric.definition}", file=out)
+        if metric.anchors:
+            print(f"    low(0): {metric.anchors.low}", file=out)
+            print(f"    avg(2): {metric.anchors.average}", file=out)
+            print(f"    high(4): {metric.anchors.high}", file=out)
+    return 0
+
+
+def _cmd_template(args, out) -> int:
+    from .core.catalog import default_catalog
+    from .core.extensions import extend_catalog
+    from .core.io import save_scorecard
+    from .core.scorecard import Scorecard
+
+    catalog = default_catalog()
+    if args.human_factors:
+        catalog = extend_catalog(catalog)
+    card = Scorecard(catalog)
+    for product in args.products:
+        card.add_product(product)
+    save_scorecard(card, args.out)
+    print(f"blank scorecard for {len(card.products)} product(s) over "
+          f"{len(catalog)} metrics written to {args.out}", file=out)
+    print("score each metric 0-4 per the anchors "
+          "(python -m repro catalog --all) and reload with "
+          "repro.core.load_scorecard", file=out)
+    return 0
+
+
+def _cmd_scenario(args, out) -> int:
+    from .net.address import Subnet
+    from .eval.testbed import cluster_scenario, ecommerce_scenario
+
+    nodes = list(Subnet("10.0.0.0/24").hosts(6))
+    if args.profile == "cluster":
+        scenario = cluster_scenario(nodes, duration_s=args.duration,
+                                    seed=args.seed,
+                                    include_dos=not args.no_dos)
+    else:
+        scenario = ecommerce_scenario(nodes[0], nodes,
+                                      duration_s=args.duration,
+                                      seed=args.seed,
+                                      include_dos=not args.no_dos)
+    scenario.trace.save(args.out)
+    print(scenario.summary(), file=out)
+    print(f"\nsaved {len(scenario.trace)} packets to {args.out}", file=out)
+    return 0
+
+
+def _cmd_evaluate(args, out) -> int:
+    from .core.report import format_weighted_results
+    from .eval.runner import EvaluationOptions, evaluate_field
+    from .report.tables import scorecard_table
+
+    if args.quick:
+        options = EvaluationOptions(
+            seed=args.seed, n_hosts=4, scenario_duration_s=40.0,
+            train_duration_s=15.0,
+            throughput_rates_pps=(500, 4000, 32000), throughput_probe_s=0.4)
+    else:
+        options = EvaluationOptions(seed=args.seed)
+    factories = [_product_factory(p) for p in args.products]
+    field = evaluate_field(factories, _requirements(args.profile), options)
+    print(scorecard_table(field.scorecard), file=out)
+    print("", file=out)
+    print(format_weighted_results(field.results), file=out)
+    print(f"\nranking ({args.profile}): {' > '.join(field.ranking())}",
+          file=out)
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    from .eval.accuracy import sensitivity_sweep
+    from .report.figures import figure4_error_curves
+
+    factory_cls = _product_factory(args.product)
+    points = [i / max(args.points - 1, 1) for i in range(args.points)]
+    points = [max(p, 0.05) for p in points]
+    sweep = sensitivity_sweep(
+        lambda s: factory_cls(sensitivity=s), f"sim-{args.product}",
+        tuple(points), seed=args.seed, duration_s=args.duration)
+    print(figure4_error_curves(sweep), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "catalog": _cmd_catalog,
+    "template": _cmd_template,
+    "scenario": _cmd_scenario,
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)

@@ -1,0 +1,376 @@
+"""The complete metric catalog.
+
+Every metric the paper names is present: the Table 1-3 subsets that "most
+impact real-time and distributed processing issues" (``in_paper_table=True``)
+and the metrics the paper says it defined "but not included in this paper"
+(``in_paper_table=False``).  Definitions for table metrics are the paper's
+own wording; definitions and anchors for the rest follow the same style.
+
+Counts: 14 logistical (6 in Table 1), 16 architectural (8 in Table 2),
+22 performance (12 in Table 3) -- 52 metrics total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..errors import UnknownMetricError
+from .metric import Metric, MetricClass, ObservationMethod, ScoreAnchors
+
+__all__ = ["MetricCatalog", "default_catalog"]
+
+_A = ObservationMethod.ANALYSIS
+_O = ObservationMethod.OPEN_SOURCE
+
+
+def _m(name, cls, definition, methods=(_A,), anchors=None, in_table=True,
+       note=""):
+    return Metric(
+        name=name, metric_class=cls, definition=definition,
+        methods=frozenset(methods), anchors=anchors, in_paper_table=in_table,
+        higher_is_better_note=note)
+
+
+def _anchors(low, average, high):
+    return ScoreAnchors(low=low, average=average, high=high)
+
+
+class MetricCatalog:
+    """An ordered, name-indexed collection of metrics."""
+
+    def __init__(self, metrics: Sequence[Metric]) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        for metric in metrics:
+            if metric.name in self._metrics:
+                raise ValueError(f"duplicate metric name {metric.name!r}")
+            self._metrics[metric.name] = metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise UnknownMetricError(f"unknown metric {name!r}")
+        return metric
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def by_class(self, metric_class: MetricClass,
+                 table_only: bool = False) -> List[Metric]:
+        return [m for m in self._metrics.values()
+                if m.metric_class is metric_class
+                and (m.in_paper_table or not table_only)]
+
+    def table_metrics(self) -> List[Metric]:
+        """The Tables 1-3 subset (real-time / distributed relevant)."""
+        return [m for m in self._metrics.values() if m.in_paper_table]
+
+
+def default_catalog() -> MetricCatalog:
+    """Build the full 52-metric catalog of the paper."""
+    L, R, P = MetricClass.LOGISTICAL, MetricClass.ARCHITECTURAL, MetricClass.PERFORMANCE
+    metrics: List[Metric] = [
+        # ================= Logistical: Table 1 =========================
+        _m("Distributed Management", L,
+           "Capability of managing and monitoring the IDS securely from "
+           "multiple possibly remote systems.", (_A, _O),
+           _anchors("Management of each node must be done at the node.",
+                    "Nodes may be remotely managed, but either security, or "
+                    "degree of administrative control is limited.",
+                    "Complete management of all nodes may be done from any "
+                    "node or remotely. Appropriate encryption and "
+                    "authentication are employed.")),
+        _m("Ease of Configuration", L,
+           "Difficulty in initially installing and subsequently configuring "
+           "the IDS.", (_A,),
+           _anchors("Manual per-component editing of undocumented files; "
+                    "expert required for days.",
+                    "Guided install; some components require manual, "
+                    "per-node configuration.",
+                    "Turnkey install with centralized, validated "
+                    "configuration of all components.")),
+        _m("Ease of Policy Maintenance", L,
+           "The ease of creating, updating, and managing IDS detection and "
+           "reaction policies.", (_A,),
+           _anchors("Policies hand-edited per sensor with no validation.",
+                    "Central policy editor, but updates require sensor "
+                    "restarts or manual pushes.",
+                    "Central, versioned policy editing pushed live to all "
+                    "components without interruption.")),
+        _m("License Management", L,
+           "The difficulty of obtaining, updating, and extending licenses "
+           "for the IDS.", (_O,),
+           _anchors("Per-sensor node-locked keys obtained by postal mail.",
+                    "Keyed licenses per site with manual renewal.",
+                    "Open license or enterprise license covering all "
+                    "sensors with automatic renewal.")),
+        _m("Outsourced Solution", L,
+           "The degree to which the IDS services are provided by an "
+           "external entity.", (_O,),
+           _anchors("Fully outsourced monitoring with vendor-scheduled "
+                    "vulnerability scans that can disrupt the system.",
+                    "Optional outsourced monitoring; scans locally "
+                    "schedulable.",
+                    "Fully in-house operation; no external dependency or "
+                    "uncontrolled scanning."),
+           note="For real-time systems, uncontrolled external scanning is "
+                "counterproductive, so in-house scores high."),
+        _m("Platform Requirements", L,
+           "System resources actually required to implement the IDS in the "
+           "expected environment.", (_A, _O),
+           _anchors("Dedicated high-end hosts plus >=20% of every monitored "
+                    "host's CPU.",
+                    "One dedicated analysis host; a few percent of "
+                    "monitored hosts.",
+                    "Runs on spare capacity; negligible monitored-host "
+                    "footprint.")),
+        # ---------- Logistical: defined but not in Table 1 -------------
+        _m("Quality of Documentation", L,
+           "Completeness, accuracy and usability of the product "
+           "documentation.", (_O,), in_table=False),
+        _m("Ease of Attack Filter Generation", L,
+           "Difficulty of creating new attack filters/signatures for the "
+           "IDS.", (_A,), in_table=False),
+        _m("Evaluation Copy Availability", L,
+           "Availability of a full-function evaluation copy prior to "
+           "procurement.", (_O,), in_table=False),
+        _m("Level of Administration", L,
+           "Ongoing administrator effort required to keep the IDS "
+           "effective.", (_A,), in_table=False),
+        _m("Product Lifetime", L,
+           "Expected support lifetime and upgrade path of the product.",
+           (_O,), in_table=False),
+        _m("Quality of Technical Support", L,
+           "Responsiveness and competence of vendor technical support.",
+           (_O,), in_table=False),
+        _m("Three Year Cost of Ownership", L,
+           "Total procurement, licensing, hardware and staffing cost over "
+           "three years.", (_O,), in_table=False),
+        _m("Training Support", L,
+           "Availability and quality of operator and administrator "
+           "training.", (_O,), in_table=False),
+
+        # ================= Architectural: Table 2 ======================
+        _m("Adjustable Sensitivity", R,
+           "Ability to change the sensitivity of the IDS to compensate for "
+           "high false positive or false negative ratios.", (_A, _O),
+           _anchors("Fixed sensitivity.",
+                    "Coarse global presets (low/medium/high).",
+                    "Continuous, per-component sensitivity tuning at "
+                    "runtime.")),
+        _m("Data Pool Selectability", R,
+           "Ability to define the source data to be analyzed for "
+           "intrusions (by protocol, source and dest addresses, etc).",
+           (_A, _O),
+           _anchors("All traffic is always analyzed.",
+                    "Static include/exclude lists applied at restart.",
+                    "Rich runtime filters by protocol, address, port and "
+                    "direction.")),
+        _m("Data Storage", R,
+           "Average required amount of storage per megabyte of source "
+           "data.", (_A,),
+           _anchors("Stores several MB per MB of traffic (full capture).",
+                    "Stores tens of kB per MB (events plus context).",
+                    "Stores only aggregated events; bytes per MB "
+                    "negligible."),
+           note="Raw observation is bytes stored per MB of source data; "
+                "less storage scores higher for bandwidth-constrained "
+                "distributed systems."),
+        _m("Host-based", R,
+           "Proportion of IDS input from log files, audit trails and other "
+           "host data.", (_A, _O),
+           _anchors("No host data is used.",
+                    "Host data from a few designated hosts.",
+                    "Full host audit integration across all monitored "
+                    "hosts.")),
+        _m("Multi-sensor Support", R,
+           "Ability of an IDS to integrate management and input of "
+           "multiple sensors or analyzers.", (_A, _O),
+           _anchors("Single sensor only.",
+                    "Several sensors with per-sensor consoles.",
+                    "Many sensors centrally integrated into one analysis "
+                    "and management view.")),
+        _m("Network-based", R,
+           "Proportion of IDS input from packet analysis and other network "
+           "data.", (_A, _O),
+           _anchors("No network data is used.",
+                    "Network data from single segment taps.",
+                    "Full multi-segment packet capture and analysis.")),
+        _m("Scalable Load-balancing", R,
+           "Ability to partition traffic into independent, balanced sensor "
+           "loads, and ability of the load-balancing subprocess to scale "
+           "upwards and downwards.", (_A, _O),
+           _anchors("No load balancing",
+                    "Load balancing via static methods such as placement",
+                    "Intelligent, dynamic load balancing")),
+        _m("System Throughput", R,
+           "Maximal data input rate that can be processed successfully by "
+           "the IDS. Measured in packets per second for network-based IDSs "
+           "and Mbps for host-based IDSs.", (_A,),
+           _anchors("Falls over at a fraction of LAN line rate.",
+                    "Keeps up with average LAN load but not bursts.",
+                    "Sustains full line rate with headroom.")),
+        # ---------- Architectural: defined but not in Table 2 ----------
+        _m("Anomaly Based", R,
+           "Degree to which detection relies on behavioural anomaly "
+           "analysis.", (_O,), in_table=False),
+        _m("Autonomous Learning", R,
+           "Ability of the IDS to learn its environment without manual "
+           "baselining.", (_A, _O), in_table=False),
+        _m("Host/OS Security", R,
+           "Hardening of the platform the IDS components run on.", (_A,),
+           in_table=False),
+        _m("Interoperability", R,
+           "Ability to exchange data with other security products and "
+           "standards.", (_O,), in_table=False),
+        _m("Package Contents", R,
+           "Completeness of the delivered package (sensors, consoles, "
+           "documentation, tools).", (_O,), in_table=False),
+        _m("Process Security", R,
+           "Resistance of the IDS's own processes to attack and "
+           "subversion.", (_A,), in_table=False),
+        _m("Signature Based", R,
+           "Degree to which detection relies on known-attack signatures.",
+           (_O,), in_table=False),
+        _m("Visibility", R,
+           "Degree to which the IDS itself is observable/fingerprintable "
+           "on the monitored network.", (_A,), in_table=False),
+
+        # ================= Performance: Table 3 ========================
+        _m("Analysis of Compromise", P,
+           "Ability to report the extent of damage and compromise due to "
+           "intrusions.", (_A,),
+           _anchors("Reports only that an alert fired.",
+                    "Identifies affected host and service.",
+                    "Maps the full scope of compromised hosts and data for "
+                    "safe resource reallocation.")),
+        _m("Error Reporting and Recovery", P,
+           "Appropriateness of the behavior of the IDS under error/failure "
+           "conditions.", (_A,),
+           _anchors("No notification, no log, no indication that an error "
+                    "has occurred. Fatal errors cause system to hang "
+                    "indefinitely.",
+                    "Failure is logged and user is notified at some point "
+                    "in the future when the IDS is able. Fatal errors "
+                    "cause cold reboot of entire machine",
+                    "Failure is reported near real time via attack "
+                    "notification channels. Fatal errors cause restart of "
+                    "application(s) or service(s).")),
+        _m("Firewall Interaction", P,
+           "Ability to interact with a firewall. Perhaps to update a "
+           "firewall's block list.", (_A, _O),
+           _anchors("No firewall interaction.",
+                    "Manual operator-driven block-list updates.",
+                    "Automatic, policy-driven block-list updates within "
+                    "seconds.")),
+        _m("Induced Traffic Latency", P,
+           "Degree to which traffic is delayed by the IDS's presence or "
+           "operation.", (_A,),
+           _anchors("In-line device adds milliseconds under load.",
+                    "Sub-millisecond added delay.",
+                    "Passive tap; no added delay."),
+           note="Raw observation is seconds of added delay; lower latency "
+                "scores higher."),
+        _m("Maximal Throughput with Zero Loss", P,
+           "Observed level of traffic that results in a sustained average "
+           "of zero lost packets or streams. Measured in packets/ sec or # "
+           "of simultaneous TCP streams.", (_A,),
+           _anchors("Loses packets at a small fraction of expected load.",
+                    "Zero loss at expected load; loses under bursts.",
+                    "Zero loss well beyond expected peak load.")),
+        _m("Network Lethal Dose", P,
+           "Observed level of network or host traffic that results in a "
+           "shutdown/malfunction of IDS. Measured in packets/ sec or # of "
+           "simultaneous TCP streams.", (_A,),
+           _anchors("Fails at loads near normal operation.",
+                    "Fails only under strong floods.",
+                    "No observed failure up to line rate.")),
+        _m("Observed False Negative Ratio", P,
+           "Ratio of actual attacks that are not detected to the total "
+           "transactions.", (_A,),
+           _anchors("Misses most attacks in the replayed corpus.",
+                    "Misses novel/insider attacks only.",
+                    "Detects the full corpus including novel attacks."),
+           note="Raw observation is |A - D| / |T| (Figure 3); lower ratio "
+                "scores higher."),
+        _m("Observed False Positive Ratio", P,
+           "Ratio of alarms raised that do not correspond to actual "
+           "attacks to the total transactions.", (_A,),
+           _anchors("Operators are flooded with false alarms.",
+                    "Occasional false alarms on unusual benign traffic.",
+                    "Essentially no false alarms."),
+           note="Raw observation is |D - A| / |T| (Figure 3); lower ratio "
+                "scores higher."),
+        _m("Operational Performance Impact", P,
+           "Negative impact on the host processing capacity due to the "
+           "operation of the IDS. Expressed as a percentage of processing "
+           "power.", (_A,),
+           _anchors("Consumes ~20% or more of monitored hosts (C2-level "
+                    "audit).",
+                    "Consumes the nominal 3-5% event-logging share.",
+                    "No measurable impact on monitored hosts."),
+           note="Raw observation is percent CPU; lower impact scores "
+                "higher."),
+        _m("Router Interaction", P,
+           "Degree to which the IDS can interact with a router. Perhaps it "
+           "might redirect attacker traffic to a honeypot.", (_A, _O),
+           _anchors("No router interaction.",
+                    "Manual block-list updates at the border router.",
+                    "Automatic blocking and honeypot redirection.")),
+        _m("SNMP Interaction", P,
+           "Ability of the IDS to send an SNMP trap to one or more network "
+           "devices in response to a detected attack.", (_A, _O),
+           _anchors("No SNMP capability.",
+                    "Traps to a single configured manager.",
+                    "Configurable traps to multiple managers with rich "
+                    "content.")),
+        _m("Timeliness", P,
+           "Average/maximal time between an intrusion's occurrence and its "
+           "being reported.", (_A,),
+           _anchors("Minutes or longer to report.",
+                    "A few seconds to report.",
+                    "Sub-second reporting."),
+           note="Raw observation is seconds from first attack packet to "
+                "operator notification; faster scores higher."),
+        # ---------- Performance: defined but not in Table 3 ------------
+        _m("Analysis of Intruder Intent", P,
+           "Ability to infer what the attacker is trying to achieve.",
+           (_A,), in_table=False),
+        _m("Clarity of Reports", P,
+           "Usefulness and readability of generated reports.", (_A, _O),
+           in_table=False),
+        _m("Effectiveness of Generated Filters", P,
+           "Accuracy of automatically generated attack filters (blocking "
+           "the attacker without shutting out legitimate users).", (_A,),
+           in_table=False),
+        _m("Evidence Collection", P,
+           "Ability to preserve forensic evidence of intrusions.", (_A,),
+           in_table=False),
+        _m("Information Sharing", P,
+           "Ability to share threat data with peer systems.", (_O,),
+           in_table=False),
+        _m("Notification: User Alerts", P,
+           "Variety and configurability of operator alerting channels.",
+           (_A, _O), in_table=False),
+        _m("Program Interaction", P,
+           "Ability to trigger arbitrary external programs in response to "
+           "events.", (_A,), in_table=False),
+        _m("Session Recording and Playback", P,
+           "Ability to record attack sessions and replay them for "
+           "analysis.", (_A,), in_table=False),
+        _m("Threat Correlation", P,
+           "Depth of analysis correlating one attack with another.", (_A,),
+           in_table=False),
+        _m("Trend Analysis", P,
+           "Ability to report threat trends over time.", (_A,),
+           in_table=False),
+    ]
+    return MetricCatalog(metrics)

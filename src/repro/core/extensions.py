@@ -1,0 +1,196 @@
+"""Scorecard extensions: the human dimension (paper future work).
+
+Section 4: "We would like to expand the scorecard metrics to capture the
+human dimension of IDS as well."  This module implements that extension:
+five additional metrics covering the operator side of intrusion detection,
+an extender that appends them to any catalog (the methodology is open by
+design -- "the metrics and their definitions are best refined as lessons
+are learned"), and a measured proxy for the one metric the testbed can
+observe directly (operator workload, from the notification stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .catalog import MetricCatalog
+from .metric import Metric, MetricClass, ObservationMethod, ScoreAnchors
+from .requirements import Requirement, RequirementSet
+
+__all__ = [
+    "human_factors_metrics",
+    "extend_catalog",
+    "human_factors_requirement",
+    "score_human_factors",
+    "score_operator_workload",
+]
+
+_A = ObservationMethod.ANALYSIS
+_O = ObservationMethod.OPEN_SOURCE
+
+
+def human_factors_metrics() -> List[Metric]:
+    """The human-dimension metric set (this reproduction's proposal for the
+    paper's future-work item; anchors follow the paper's house style)."""
+    return [
+        Metric(
+            name="Operator Workload",
+            metric_class=MetricClass.PERFORMANCE,
+            definition="Rate of operator notifications demanding attention "
+                       "under representative traffic, normalized per "
+                       "operator-hour.",
+            methods=frozenset({_A}),
+            anchors=ScoreAnchors(
+                low="Hundreds of notifications per hour; triage is "
+                    "impossible and alerts are ignored.",
+                average="A few notifications per hour, mostly actionable.",
+                high="Only consolidated, high-confidence incidents reach "
+                     "the operator."),
+            in_paper_table=False,
+            higher_is_better_note="Raw observation is notifications/hour; "
+                                  "fewer scores higher."),
+        Metric(
+            name="Alert Comprehensibility",
+            metric_class=MetricClass.PERFORMANCE,
+            definition="Degree to which an alert tells the operator what "
+                       "happened, to which asset, and what to do next.",
+            methods=frozenset({_A}),
+            anchors=ScoreAnchors(
+                low="Numeric codes with no context.",
+                average="Category, source and destination with free-text "
+                        "detail.",
+                high="Correlated incident narrative with severity, scope "
+                     "and recommended response."),
+            in_paper_table=False),
+        Metric(
+            name="Operator Trust Calibration",
+            metric_class=MetricClass.PERFORMANCE,
+            definition="How well the alert stream sustains operator trust: "
+                       "a high false-alarm history causes real alerts to "
+                       "be ignored (the monitoring failure of section 2.2).",
+            methods=frozenset({_A}),
+            anchors=ScoreAnchors(
+                low="Operators routinely dismiss alerts unseen.",
+                average="Operators triage alerts but discount low "
+                        "severities.",
+                high="Operators act on every notification."),
+            in_paper_table=False),
+        Metric(
+            name="Operator Learnability",
+            metric_class=MetricClass.LOGISTICAL,
+            definition="Time for a new operator to reach proficiency with "
+                       "the monitoring and management consoles.",
+            methods=frozenset({_A, _O}),
+            anchors=ScoreAnchors(
+                low="Months of apprenticeship with an expert.",
+                average="A vendor course plus weeks of practice.",
+                high="Productive within days using the documentation."),
+            in_paper_table=False),
+        Metric(
+            name="Console Interface Quality",
+            metric_class=MetricClass.ARCHITECTURAL,
+            definition="Quality of the operator-facing interfaces: threat "
+                       "presentation, querying, and configuration "
+                       "ergonomics.",
+            methods=frozenset({_A, _O}),
+            anchors=ScoreAnchors(
+                low="Log files only.",
+                average="Text console with filtering and history queries.",
+                high="Integrated graphical threat view with drill-down and "
+                     "guided response."),
+            in_paper_table=False),
+    ]
+
+
+def extend_catalog(catalog: MetricCatalog,
+                   extra: Optional[List[Metric]] = None) -> MetricCatalog:
+    """A new catalog containing ``catalog``'s metrics plus ``extra``
+    (default: the human-factors set).  The input catalog is not mutated."""
+    extra = extra if extra is not None else human_factors_metrics()
+    return MetricCatalog([*catalog, *extra])
+
+
+def human_factors_requirement(weight: float = 1.0) -> Requirement:
+    """A ready-made requirement wiring the human dimension into a profile."""
+    return Requirement(
+        name="operable-by-humans",
+        description="the watch team can understand, trust and act on what "
+                    "the IDS reports",
+        weight=weight,
+        contributes_to=frozenset({
+            "Operator Workload", "Alert Comprehensibility",
+            "Operator Trust Calibration", "Operator Learnability",
+            "Console Interface Quality"}))
+
+
+def score_human_factors(
+    notifications_per_hour: float,
+    facts,
+    correlating: bool,
+    false_alarm_fraction: float,
+) -> Dict[str, Tuple[int, str]]:
+    """Score the five human-dimension metrics from run data and facts.
+
+    Parameters
+    ----------
+    notifications_per_hour:
+        Operator notification rate measured over the accuracy scenario.
+    facts:
+        :class:`~repro.products.base.ProductFacts` (docs / training quality
+        proxy the learnability and interface metrics).
+    correlating:
+        Whether the product's analyzers perform campaign correlation
+        (incident narratives vs isolated alerts).
+    false_alarm_fraction:
+        Fraction of alerts that were false claims; drives trust
+        calibration ("frequent alerts on trivial or normal events ... lead
+        to the IDS being ignored by the operators", section 2.2).
+    """
+    if not 0.0 <= false_alarm_fraction <= 1.0:
+        raise ValueError("false_alarm_fraction must be in [0, 1]")
+    out: Dict[str, Tuple[int, str]] = {}
+    out["Operator Workload"] = score_operator_workload(notifications_per_hour)
+    out["Alert Comprehensibility"] = (
+        (4 if correlating else 2),
+        "correlated incident narrative" if correlating
+        else "category/source alerts without correlation")
+    if false_alarm_fraction <= 0.01:
+        trust = 4
+    elif false_alarm_fraction <= 0.1:
+        trust = 3
+    elif false_alarm_fraction <= 0.3:
+        trust = 2
+    else:
+        trust = 1
+    out["Operator Trust Calibration"] = (
+        trust, f"{false_alarm_fraction:.1%} of alerts were false claims")
+    docs_scale = {"poor": 0, "fair": 2, "good": 4}
+    training_scale = {"none": 0, "docs-only": 2, "vendor-courses": 4}
+    learn = round((docs_scale[facts.docs] + training_scale[facts.training]) / 2)
+    out["Operator Learnability"] = (
+        learn, f"docs={facts.docs}, training={facts.training}")
+    iface = 4 if (facts.trend_analysis and facts.session_recording) else (
+        2 if facts.support != "none" else 1)
+    out["Console Interface Quality"] = (
+        iface, "integrated drill-down view" if iface == 4 else
+        ("text console with queries" if iface == 2 else "log files only"))
+    return out
+
+
+def score_operator_workload(
+    notifications_per_hour: float,
+) -> Tuple[int, str]:
+    """Discretize a measured notification rate onto the 0-4 scale."""
+    if notifications_per_hour < 0:
+        raise ValueError("notifications_per_hour must be >= 0")
+    if notifications_per_hour <= 1:
+        score = 4
+    elif notifications_per_hour <= 6:
+        score = 3
+    elif notifications_per_hour <= 30:
+        score = 2
+    elif notifications_per_hour <= 120:
+        score = 1
+    else:
+        score = 0
+    return score, f"{notifications_per_hour:.1f} operator notifications/hour"

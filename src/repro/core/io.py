@@ -1,0 +1,103 @@
+"""Scorecard persistence.
+
+Evaluations outlive sessions: "the evaluation may be reused with the
+metrics given different weighting according to the needs of the next
+customer" (section 1), and re-evaluation across vendor releases needs the
+old scorecards on disk.  Scores serialize to JSON with full provenance
+(method, evidence, raw value); loading validates against the catalog in
+use, so a scorecard saved under an extended catalog refuses to load into a
+narrower one unless asked to drop unknown metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..errors import ScorecardError, UnknownMetricError
+from .catalog import MetricCatalog
+from .metric import ObservationMethod
+from .scorecard import Scorecard
+
+__all__ = ["scorecard_to_dict", "scorecard_from_dict",
+           "save_scorecard", "load_scorecard"]
+
+_FORMAT = "repro-scorecard"
+_VERSION = 1
+
+
+def scorecard_to_dict(scorecard: Scorecard) -> dict:
+    """A JSON-serializable representation of a scorecard."""
+    entries = []
+    for entry in scorecard:
+        entries.append({
+            "product": entry.product,
+            "metric": entry.metric,
+            "score": entry.score,
+            "method": entry.method.value,
+            "evidence": entry.evidence,
+            "raw_value": entry.raw_value,
+        })
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "products": list(scorecard.products),
+        "entries": entries,
+    }
+
+
+def scorecard_from_dict(
+    data: dict,
+    catalog: MetricCatalog,
+    ignore_unknown_metrics: bool = False,
+) -> Scorecard:
+    """Rebuild a scorecard from its serialized form.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog to validate against.
+    ignore_unknown_metrics:
+        Drop entries whose metric is absent from ``catalog`` instead of
+        raising (e.g. loading an extended-catalog scorecard into the base
+        catalog).
+    """
+    if data.get("format") != _FORMAT:
+        raise ScorecardError(f"not a scorecard document: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ScorecardError(f"unsupported scorecard version {data.get('version')!r}")
+    card = Scorecard(catalog)
+    for product in data.get("products", []):
+        card.add_product(product)
+    methods: Dict[str, ObservationMethod] = {
+        m.value: m for m in ObservationMethod}
+    for entry in data.get("entries", []):
+        metric = entry["metric"]
+        if metric not in catalog:
+            if ignore_unknown_metrics:
+                continue
+            raise UnknownMetricError(
+                f"serialized entry references unknown metric {metric!r}")
+        method = methods.get(entry.get("method", ""))
+        if method is None:
+            raise ScorecardError(
+                f"unknown observation method {entry.get('method')!r}")
+        card.set_score(entry["product"], metric, entry["score"],
+                       method=method, evidence=entry.get("evidence", ""),
+                       raw_value=entry.get("raw_value"))
+    return card
+
+
+def save_scorecard(scorecard: Scorecard, path: str) -> None:
+    """Write a scorecard to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(scorecard_to_dict(scorecard), fh, indent=2, sort_keys=True)
+
+
+def load_scorecard(path: str, catalog: MetricCatalog,
+                   ignore_unknown_metrics: bool = False) -> Scorecard:
+    """Read a scorecard from a JSON file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return scorecard_from_dict(data, catalog,
+                               ignore_unknown_metrics=ignore_unknown_metrics)

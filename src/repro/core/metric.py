@@ -1,0 +1,115 @@
+"""Metric model: classes, observation methods, anchors, discrete scores.
+
+Section 3.1: "Well-defined metrics are observable, reproducible,
+quantifiable, and characteristic ... We chose to use scores with the
+discrete values zero through four, with higher scores interpreted as more
+favorable ratings.  Our definition of each metric includes examples of low
+(0), average (2), and high (4) scores."
+
+The two observation methods (section 3.1): *analysis* (direct observation in
+a laboratory setting or source code analysis) and *open-source material*
+(specifications, white papers or reviews).  Each metric is designated to be
+measured by one or both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from ..errors import ScoreValueError
+
+__all__ = [
+    "MetricClass",
+    "ObservationMethod",
+    "ScoreAnchors",
+    "Metric",
+    "SCORE_MIN",
+    "SCORE_MAX",
+    "validate_score",
+]
+
+SCORE_MIN = 0
+SCORE_MAX = 4
+
+
+class MetricClass(enum.IntEnum):
+    """The three metric classes (section 3.1); the integer value is the
+    class index ``j`` of the Figure-5 formula."""
+
+    LOGISTICAL = 1
+    ARCHITECTURAL = 2
+    PERFORMANCE = 3
+
+
+class ObservationMethod(enum.Enum):
+    """How a metric value is observed (section 3.1)."""
+
+    ANALYSIS = "analysis"            # laboratory measurement / source analysis
+    OPEN_SOURCE = "open-source"      # vendor specs, white papers, reviews
+
+
+@dataclass(frozen=True)
+class ScoreAnchors:
+    """Worked examples of low (0), average (2) and high (4) scores."""
+
+    low: str
+    average: str
+    high: str
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One scorecard metric.
+
+    Parameters
+    ----------
+    name:
+        Canonical metric name as printed in the paper's tables.
+    metric_class:
+        Logistical / Architectural / Performance.
+    definition:
+        The metric definition (taken from Tables 1-3 where the paper gives
+        one; our wording for the metrics the paper names but does not
+        define).
+    methods:
+        Designated observation methods.
+    anchors:
+        Low/average/high scoring examples.  The paper prints anchors for
+        Distributed Management, Scalable Load-balancing and Error Reporting
+        and Recovery; anchors for other metrics are this reproduction's.
+    in_paper_table:
+        True when the metric appears in Table 1, 2 or 3 (the real-time
+        relevant subset); False for the metrics the paper defines but does
+        not include.
+    higher_is_better_note:
+        Optional clarification for metrics whose *raw observation* falls as
+        quality rises (e.g. latency); scores are always higher-is-better.
+    """
+
+    name: str
+    metric_class: MetricClass
+    definition: str
+    methods: FrozenSet[ObservationMethod] = frozenset({ObservationMethod.ANALYSIS})
+    anchors: Optional[ScoreAnchors] = None
+    in_paper_table: bool = True
+    higher_is_better_note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("metric name must be non-empty")
+        if not self.methods:
+            raise ValueError(f"metric {self.name!r} needs >= 1 observation method")
+
+
+def validate_score(value: int, metric_name: str = "") -> int:
+    """Check a discrete score is an integer in [0, 4]; returns it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScoreValueError(
+            f"score for {metric_name!r} must be an integer, got {value!r}")
+    if not SCORE_MIN <= value <= SCORE_MAX:
+        raise ScoreValueError(
+            f"score for {metric_name!r} must be in [{SCORE_MIN}, {SCORE_MAX}], "
+            f"got {value}")
+    return value

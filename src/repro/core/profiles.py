@@ -1,0 +1,106 @@
+"""Canned requirement profiles.
+
+Section 3.3's weighting guidance, captured as reusable requirement sets:
+
+* :func:`realtime_cluster_requirements` -- "for real-time systems, emphasis
+  should be placed on speed and accuracy of attack recognition and on the
+  ability of the IDS to automatically react via firewall, router, SNMP,
+  etc", plus the section-2 constraints (no significant resource overhead,
+  no bottlenecks, benign failure modes).
+* :func:`distributed_requirements` -- "distributed systems then, should put
+  emphasis on reducing the false negative ratio to the lowest possible
+  level accepting an increased false positive alert ratio in the process.
+  Logging of historical traffic is also key."
+* :func:`ecommerce_requirements` -- the commercial-IDS home ground, for
+  contrast: operator ergonomics and known-attack precision over real-time
+  reaction.
+
+Each profile is ordered least- to most-important (the section-3.3
+algorithm assigns increasing weights).
+"""
+
+from __future__ import annotations
+
+from .requirements import RequirementSet
+
+__all__ = [
+    "realtime_cluster_requirements",
+    "distributed_requirements",
+    "ecommerce_requirements",
+]
+
+
+def realtime_cluster_requirements() -> RequirementSet:
+    """Requirements of a distributed real-time (clustered) combat system."""
+    return RequirementSet.from_ordered("realtime-cluster", [
+        ("manageable", "the IDS is manageable across many nodes without "
+         "per-node effort",
+         ["Distributed Management", "Ease of Configuration",
+          "Ease of Policy Maintenance", "Multi-sensor Support"]),
+        ("in-house", "operation is fully in-house; no externally scheduled "
+         "scans can disturb the system",
+         ["Outsourced Solution", "License Management"]),
+        ("tunable", "detection sensitivity and analyzed data pool are "
+         "tunable to the cluster's constrained traffic",
+         ["Adjustable Sensitivity", "Data Pool Selectability"]),
+        ("scalable", "monitoring scales with the cluster without uneven "
+         "sensor load",
+         ["Scalable Load-balancing", "System Throughput",
+          "Multi-sensor Support"]),
+        ("benign-failure", "the IDS fails in a mode that does not hamper "
+         "system performance and reports its own failures",
+         ["Error Reporting and Recovery", "Network Lethal Dose"]),
+        ("low-overhead", "monitoring adds no significant resource overhead "
+         "or network bottlenecks",
+         ["Platform Requirements", "Operational Performance Impact",
+          "Induced Traffic Latency", "Data Storage",
+          "Maximal Throughput with Zero Loss"]),
+        ("accurate", "attack recognition is accurate",
+         ["Observed False Negative Ratio", "Observed False Positive Ratio"]),
+        ("fast-react", "detection and automated reaction happen in near "
+         "real time via firewall, router and SNMP",
+         ["Timeliness", "Firewall Interaction", "Router Interaction",
+          "SNMP Interaction"]),
+    ])
+
+
+def distributed_requirements() -> RequirementSet:
+    """Requirements of a high-trust distributed system (section 3.3)."""
+    return RequirementSet.from_ordered("distributed-trust", [
+        ("manageable", "central secure management of all components",
+         ["Distributed Management", "Multi-sensor Support"]),
+        ("low-overhead", "no significant resource or bandwidth overhead",
+         ["Platform Requirements", "Operational Performance Impact",
+          "Data Storage"]),
+        ("host-visibility", "host-level visibility to catch misuse of "
+         "inter-host trust",
+         ["Host-based", "Analysis of Compromise"]),
+        ("historical-logging", "historical traffic is logged for ex post "
+         "facto unraveling of a compromise",
+         ["Threat Correlation", "Evidence Collection",
+          "Session Recording and Playback"]),
+        ("catch-initial-compromise", "the initial compromise of the first "
+         "component host is caught and isolated: the false negative ratio "
+         "is as low as possible, accepting increased false positives",
+         ["Observed False Negative Ratio", "Adjustable Sensitivity",
+          "Timeliness", "Firewall Interaction"]),
+    ])
+
+
+def ecommerce_requirements() -> RequirementSet:
+    """Requirements of a commercial e-commerce web shop (contrast case)."""
+    return RequirementSet.from_ordered("ecommerce-web", [
+        ("cheap", "cost of ownership and administration stay low",
+         ["Three Year Cost of Ownership", "Level of Administration",
+          "License Management"]),
+        ("easy", "installation and policy upkeep are easy for a small "
+         "operations team",
+         ["Ease of Configuration", "Ease of Policy Maintenance",
+          "Quality of Documentation", "Training Support"]),
+        ("quiet", "operators are not flooded with false alarms",
+         ["Observed False Positive Ratio", "Clarity of Reports"]),
+        ("throughput", "the shop's web traffic is monitored at line rate",
+         ["System Throughput", "Maximal Throughput with Zero Loss"]),
+        ("known-attacks", "known web attacks are reliably detected",
+         ["Observed False Negative Ratio", "Signature Based"]),
+    ])

@@ -1,0 +1,84 @@
+"""Requirement-to-metric weight derivation (section 3.3 / Figure 6).
+
+"After the requirements are weighted, each metric is assigned a weight equal
+to the sum of the weights of the requirements it contributes to."
+
+The worked Figure-6 instance: requirement weights {1, 2.5, 3, 5} mapped onto
+six metrics yielding weights {3, 6.5, 5, 0, 0, 8}.  (The figure's arrow
+diagram is not fully recoverable from the paper text; the mapping used by
+:func:`figure6_example` is the unique natural one consistent with the
+printed numbers -- see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import WeightingError
+from .catalog import MetricCatalog
+from .requirements import Requirement, RequirementSet
+
+__all__ = ["derive_weights", "figure6_example"]
+
+
+def derive_weights(
+    requirements: RequirementSet,
+    catalog: Optional[MetricCatalog] = None,
+    default: float = 0.0,
+) -> Dict[str, float]:
+    """Map a requirement set onto per-metric weights.
+
+    Parameters
+    ----------
+    requirements:
+        The weighted requirement set.
+    catalog:
+        When given, (a) requirement contributions naming unknown metrics
+        raise :class:`WeightingError`, and (b) the result contains *every*
+        catalog metric, with ``default`` weight for uncontributed ones.
+        Without a catalog, only contributed metrics appear.
+    default:
+        Weight for metrics no requirement contributes to.
+    """
+    weights: Dict[str, float] = {}
+    if catalog is not None:
+        for metric in catalog:
+            weights[metric.name] = default
+    for req in requirements:
+        for metric_name in req.contributes_to:
+            if catalog is not None and metric_name not in catalog:
+                raise WeightingError(
+                    f"requirement {req.name!r} contributes to unknown "
+                    f"metric {metric_name!r}")
+            weights[metric_name] = weights.get(metric_name, default) + req.weight
+    return weights
+
+
+def figure6_example() -> tuple:
+    """The Figure-6 worked example.
+
+    Returns ``(requirement_set, metric_weights)`` where the six abstract
+    metrics M1..M6 receive weights (3, 6.5, 5, 0, 0, 8) from four
+    requirements weighted 1, 2.5, 3 and 5:
+
+    * R1 (w=1)   -> M2
+    * R2 (w=2.5) -> M2
+    * R3 (w=3)   -> M1, M2, M6
+    * R4 (w=5)   -> M3, M6
+
+    giving M1=3, M2=1+2.5+3=6.5, M3=5, M4=M5=0, M6=3+5=8.
+    """
+    reqs = RequirementSet("figure-6", [
+        Requirement("R1", "least important requirement", 1.0,
+                    frozenset({"M2"})),
+        Requirement("R2", "second requirement", 2.5,
+                    frozenset({"M2"})),
+        Requirement("R3", "third requirement", 3.0,
+                    frozenset({"M1", "M2", "M6"})),
+        Requirement("R4", "most important requirement", 5.0,
+                    frozenset({"M3", "M6"})),
+    ])
+    weights = derive_weights(reqs)
+    for name in ("M4", "M5"):
+        weights.setdefault(name, 0.0)
+    return reqs, weights

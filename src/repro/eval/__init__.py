@@ -1,0 +1,68 @@
+"""Evaluation harness: per-metric measurement procedures and the runner."""
+
+from .accuracy import (
+    SensitivitySweep,
+    SweepPoint,
+    equal_error_rate,
+    run_accuracy,
+    sensitivity_sweep,
+)
+from .ground_truth import AccuracyResult, count_transactions, score_alerts
+from .latency import (
+    LatencyReport,
+    TimelinessReport,
+    measure_induced_latency,
+    timeliness_from_accuracy,
+)
+from .observer import MeasurementBundle, fill_scorecard, score_measurements, score_open_source
+from .overhead import OverheadReport, logging_level_overhead, measure_host_overhead
+from .runner import (
+    EvaluationOptions,
+    FieldEvaluation,
+    ProductEvaluation,
+    evaluate_field,
+    evaluate_product,
+)
+from .testbed import EvalTestbed, cluster_scenario, ecommerce_scenario
+from .throughput import (
+    LoadProbe,
+    ThroughputReport,
+    make_load_trace,
+    measure_throughput,
+    probe_rate,
+)
+
+__all__ = [
+    "SensitivitySweep",
+    "SweepPoint",
+    "equal_error_rate",
+    "run_accuracy",
+    "sensitivity_sweep",
+    "AccuracyResult",
+    "count_transactions",
+    "score_alerts",
+    "LatencyReport",
+    "TimelinessReport",
+    "measure_induced_latency",
+    "timeliness_from_accuracy",
+    "MeasurementBundle",
+    "fill_scorecard",
+    "score_measurements",
+    "score_open_source",
+    "OverheadReport",
+    "logging_level_overhead",
+    "measure_host_overhead",
+    "EvaluationOptions",
+    "FieldEvaluation",
+    "ProductEvaluation",
+    "evaluate_field",
+    "evaluate_product",
+    "EvalTestbed",
+    "cluster_scenario",
+    "ecommerce_scenario",
+    "LoadProbe",
+    "ThroughputReport",
+    "make_load_trace",
+    "measure_throughput",
+    "probe_rate",
+]

@@ -1,0 +1,145 @@
+"""The full evaluation: every product through the whole measurement battery.
+
+This is the reproduction of the paper's prototype evaluation (section 3.2):
+each product is deployed on the testbed, measured (accuracy scenario,
+throughput sweep, latency, timeliness, host overhead), scored on the full
+metric catalog (analysis + open-source methods), and finally ranked under a
+requirement profile's weights (Figures 5-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.catalog import MetricCatalog, default_catalog
+from ..core.requirements import RequirementSet
+from ..core.scorecard import Scorecard
+from ..core.scoring import WeightedResult, rank_products, weighted_scores
+from ..core.weighting import derive_weights
+from ..products.base import Product
+from .ground_truth import AccuracyResult
+from .latency import measure_induced_latency, timeliness_from_accuracy
+from .observer import MeasurementBundle, fill_scorecard
+from .overhead import measure_host_overhead
+from .testbed import EvalTestbed
+from .throughput import ThroughputReport, measure_throughput
+
+__all__ = ["EvaluationOptions", "ProductEvaluation", "FieldEvaluation",
+           "evaluate_product", "evaluate_field"]
+
+ProductFactory = Callable[[], Product]
+
+
+@dataclass
+class EvaluationOptions:
+    """Knobs for the evaluation battery (defaults reproduce E1; tests use
+    smaller settings)."""
+
+    seed: int = 0
+    n_hosts: int = 6
+    scenario_duration_s: float = 70.0
+    train_duration_s: float = 30.0
+    include_dos: bool = True
+    flood_rate_pps: float = 1500.0
+    throughput_rates_pps: Sequence[float] = (500, 1000, 2000, 4000, 8000,
+                                             16000, 32000)
+    throughput_probe_s: float = 1.0
+    payload_mode: str = "http"
+    profile: str = "cluster"
+
+
+@dataclass
+class ProductEvaluation:
+    """All raw measurements for one product."""
+
+    name: str
+    accuracy: AccuracyResult
+    throughput: ThroughputReport
+    bundle: MeasurementBundle
+
+
+@dataclass
+class FieldEvaluation:
+    """The complete evaluation outcome across the product field."""
+
+    scorecard: Scorecard
+    weights: Dict[str, float]
+    results: List[WeightedResult]
+    evaluations: Dict[str, ProductEvaluation]
+    requirement_profile: str
+
+    def ranking(self) -> List[str]:
+        return [r.product for r in rank_products(self.results)]
+
+
+def evaluate_product(
+    factory: ProductFactory,
+    options: Optional[EvaluationOptions] = None,
+) -> ProductEvaluation:
+    """Run the full measurement battery against one product."""
+    opts = options or EvaluationOptions()
+
+    # --- accuracy scenario -------------------------------------------
+    testbed = EvalTestbed(factory(), n_hosts=opts.n_hosts, seed=opts.seed,
+                          train_duration_s=opts.train_duration_s,
+                          profile=opts.profile)
+    deployment = testbed.deployment
+    scenario = testbed.make_scenario(
+        duration_s=opts.scenario_duration_s,
+        include_dos=opts.include_dos,
+        flood_rate_pps=opts.flood_rate_pps)
+    accuracy = testbed.run_scenario(scenario)
+
+    # --- derived observations from the same run -----------------------
+    traffic_mb = max(scenario.trace.total_bytes / 1e6, 1e-9)
+    storage_bytes = sum(a.storage_bytes for a in deployment.analyzers)
+    attack_sources = {
+        pkt.src.value for _, pkt in scenario.trace if pkt.attack_id}
+    timeliness = timeliness_from_accuracy(accuracy)
+    latency = measure_induced_latency(deployment)
+    overhead = measure_host_overhead(deployment, observe_s=5.0)
+
+    # --- independent load battery (fresh deployments per probe) -------
+    throughput = measure_throughput(
+        factory, deployment.name,
+        rates_pps=opts.throughput_rates_pps,
+        duration_s=opts.throughput_probe_s,
+        payload_mode=opts.payload_mode,
+        seed=opts.seed)
+
+    bundle = MeasurementBundle(
+        accuracy=accuracy,
+        throughput=throughput,
+        latency=latency,
+        timeliness=timeliness,
+        overhead=overhead,
+        deployment=deployment,
+        storage_bytes_per_mb=storage_bytes / traffic_mb,
+        attack_sources=attack_sources,
+        scenario_duration_s=scenario.duration_s,
+    )
+    return ProductEvaluation(name=deployment.name, accuracy=accuracy,
+                             throughput=throughput, bundle=bundle)
+
+
+def evaluate_field(
+    factories: Sequence[ProductFactory],
+    requirements: RequirementSet,
+    options: Optional[EvaluationOptions] = None,
+    catalog: Optional[MetricCatalog] = None,
+) -> FieldEvaluation:
+    """Evaluate every product and rank them under a requirement profile."""
+    catalog = catalog or default_catalog()
+    scorecard = Scorecard(catalog)
+    evaluations: Dict[str, ProductEvaluation] = {}
+    for factory in factories:
+        evaluation = evaluate_product(factory, options)
+        fill_scorecard(scorecard, evaluation.bundle.deployment.facts,
+                       evaluation.bundle)
+        evaluations[evaluation.name] = evaluation
+    weights = derive_weights(requirements, catalog)
+    results = weighted_scores(scorecard, weights, strict=False)
+    return FieldEvaluation(
+        scorecard=scorecard, weights=weights, results=results,
+        evaluations=evaluations, requirement_profile=requirements.name)

@@ -1,0 +1,312 @@
+"""Anomaly-based detection engine.
+
+"An anomaly-based IDS attempts to detect behavior that is inconsistent with
+'normal' behavior" (section 2.1).  The engine learns a traffic baseline from
+a benign training window -- the paper: "a constrained application environment
+may help constrain the definition of normal behavior making anomaly-based
+systems more appropriate ... such as those used for cluster super-computing"
+-- and then scores live packets against it.
+
+Feature set (all O(1) per packet):
+
+``rate``
+    Per-source packet rate (sliding bins) vs the trained per-source maximum.
+``fanout``
+    Distinct destination ports per source in a window vs trained maximum.
+``new-service``
+    A (proto, server-port) pair never seen in training.
+``entropy``
+    Payload byte entropy vs the trained per-service mean/stddev.
+``icmp-size``
+    ICMP payload size vs trained distribution.
+``token``
+    Unseen payload-prefix token on a *known* service port (application-
+    protocol fluency: catches rogue commands inside an otherwise-normal
+    cluster protocol -- the insider case of section 3.3).
+
+Each feature maps its deviation through a logistic into a suspicion score in
+[0, 1]; the packet's score is the max.  A detection fires when the score
+exceeds ``threshold(sensitivity) = 0.95 - 0.85 * sensitivity``: the
+continuous knob behind the Figure-4 error-rate curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..net.packet import Packet, Protocol, TcpFlags
+from ..traffic.payload import shannon_entropy
+from .alert import Severity
+
+__all__ = ["AnomalyEngine", "AnomalyScore"]
+
+_ENTROPY_SAMPLE = 256  # bytes of payload fed to the entropy estimator
+
+
+def _logistic(z: float, midpoint: float, steepness: float = 1.0) -> float:
+    """Map a deviation ``z`` to (0, 1) with 0.5 at ``midpoint``."""
+    try:
+        return 1.0 / (1.0 + math.exp(-steepness * (z - midpoint)))
+    except OverflowError:  # pragma: no cover - extreme z
+        return 0.0 if z < midpoint else 1.0
+
+
+class AnomalyScore(Tuple[str, float]):
+    """(feature, score) pair; tuple subclass for cheap construction."""
+
+    __slots__ = ()
+
+    @property
+    def feature(self) -> str:
+        return self[0]
+
+    @property
+    def score(self) -> float:
+        return self[1]
+
+
+class _ServiceStats:
+    """Streaming entropy statistics for one (proto, port) service."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        d = x - self.mean
+        self.mean += d / self.n
+        self.m2 += d * (x - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 1.0
+        return max(math.sqrt(self.m2 / (self.n - 1)), 0.05)
+
+
+class AnomalyEngine:
+    """Baseline-learning behavioural detector.
+
+    Usage: feed benign traffic through :meth:`train`, call :meth:`freeze`,
+    then :meth:`inspect` live packets.
+    """
+
+    def __init__(self, sensitivity: float = 0.5, window_s: float = 5.0) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        self.sensitivity = sensitivity
+        self.window_s = float(window_s)
+        self.trained = False
+        self.packets_inspected = 0
+        self.detections = 0
+
+        # --- learned baseline ---
+        self._services: Set[Tuple[Protocol, int]] = set()
+        self._entropy: Dict[Tuple[Protocol, int], _ServiceStats] = {}
+        self._tokens: Dict[Tuple[Protocol, int], Set[bytes]] = {}
+        self._icmp_sizes = _ServiceStats()
+        self._max_src_rate = 0.0  # packets/s per source, trained maximum
+        self._max_fanout = 0      # distinct ports per source per window
+        self._train_bins: Dict[Tuple[int, int], int] = {}
+        self._train_fanout: Dict[Tuple[int, int], Set[int]] = {}
+
+        # --- live state ---
+        self._live_bins: Dict[int, list] = {}     # src -> [bin_idx, count]
+        self._live_fanout: Dict[int, list] = {}   # src -> [win_start, set]
+
+    # ------------------------------------------------------------------
+    @property
+    def sensitivity(self) -> float:
+        return self._sensitivity
+
+    @sensitivity.setter
+    def sensitivity(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError("sensitivity must be in [0, 1]")
+        self._sensitivity = float(value)
+
+    @property
+    def threshold(self) -> float:
+        """Detection threshold on the suspicion score (falls as sensitivity
+        rises)."""
+        return 0.95 - 0.85 * self._sensitivity
+
+    @staticmethod
+    def _server_port(pkt: Packet) -> Optional[int]:
+        """Heuristic service port: the lower of the two (server side)."""
+        if pkt.proto is Protocol.ICMP:
+            return 0
+        return min(pkt.sport, pkt.dport)
+
+    _ALPHA = frozenset(b"abcdefghijklmnopqrstuvwxyz_")
+
+    @classmethod
+    def _token(cls, pkt: Packet) -> Optional[bytes]:
+        """Extract a *stable* application-protocol token from the payload.
+
+        Text protocols: the first word ("GET", "HELO", "login:").  Binary
+        protocols: the 6-byte magic+type header plus the first embedded
+        command-like ASCII run -- volatile fields (sequence numbers, float
+        samples) are deliberately excluded so that ordinary traffic yields
+        a small, learnable token set while a rogue command inside an
+        otherwise-normal protocol produces a token never seen in training.
+        """
+        p = pkt.payload
+        if p is None or len(p) < 4:
+            return None
+        head = p[:16]
+        printable = sum(32 <= b < 127 for b in head)
+        if printable >= max(len(head) - 2, 4):  # text protocol
+            return bytes(p.split(b" ", 1)[0][:12])
+        run = b""
+        current = bytearray()
+        for b in p[6:32]:
+            if b in cls._ALPHA:
+                current.append(b)
+                continue
+            if len(current) >= 4:
+                break
+            current.clear()
+        if len(current) >= 4:
+            run = bytes(current[:12])
+        return bytes(p[:6]) + b"|" + run
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(self, pkt: Packet, now: float) -> None:
+        """Incorporate one benign packet into the baseline."""
+        if self.trained:
+            raise ConfigurationError("engine already frozen; cannot train")
+        port = self._server_port(pkt)
+        key = (pkt.proto, port)
+        self._services.add(key)
+
+        if pkt.payload is not None:
+            h = shannon_entropy(pkt.payload[:_ENTROPY_SAMPLE])
+            self._entropy.setdefault(key, _ServiceStats()).add(h)
+            token = self._token(pkt)
+            if token is not None:
+                self._tokens.setdefault(key, set()).add(token)
+
+        if pkt.proto is Protocol.ICMP:
+            self._icmp_sizes.add(float(pkt.payload_len))
+
+        # per-source rate bins (1 s) and fan-out windows
+        bin_key = (pkt.src.value, int(now))
+        self._train_bins[bin_key] = self._train_bins.get(bin_key, 0) + 1
+        fo_key = (pkt.src.value, int(now // self.window_s))
+        self._train_fanout.setdefault(fo_key, set()).add(pkt.dport)
+
+    def freeze(self) -> None:
+        """Finish training; derive the per-source rate/fan-out envelopes."""
+        if self._train_bins:
+            self._max_src_rate = float(max(self._train_bins.values()))
+        else:
+            self._max_src_rate = 1.0
+        if self._train_fanout:
+            self._max_fanout = max(len(s) for s in self._train_fanout.values())
+        else:
+            self._max_fanout = 1
+        self._train_bins.clear()
+        self._train_fanout.clear()
+        self.trained = True
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def inspect(self, pkt: Packet, now: float) -> List[AnomalyScore]:
+        """Score one packet; returns the features above threshold."""
+        if not self.trained:
+            raise ConfigurationError("AnomalyEngine.inspect before freeze()")
+        self.packets_inspected += 1
+        scores: List[AnomalyScore] = []
+        t = self.threshold
+
+        # rate
+        src = pkt.src.value
+        bin_idx = int(now)
+        live = self._live_bins.get(src)
+        if live is None or live[0] != bin_idx:
+            live = [bin_idx, 0]
+            self._live_bins[src] = live
+        live[1] += 1
+        ratio = live[1] / max(self._max_src_rate, 1.0)
+        if ratio > 1.0:
+            s = _logistic(math.log2(ratio), midpoint=2.0, steepness=1.6)
+            if s > t:
+                scores.append(AnomalyScore(("rate", s)))
+
+        # fan-out
+        fo = self._live_fanout.get(src)
+        if fo is None or now - fo[0] > self.window_s:
+            fo = [now, set()]
+            self._live_fanout[src] = fo
+        fo[1].add(pkt.dport)
+        fan = len(fo[1])
+        if fan > self._max_fanout:
+            s = _logistic(math.log2(fan / max(self._max_fanout, 1)),
+                          midpoint=1.5, steepness=1.8)
+            if s > t:
+                scores.append(AnomalyScore(("fanout", s)))
+
+        # new service (only consider plausible service-side ports)
+        port = self._server_port(pkt)
+        key = (pkt.proto, port)
+        is_syn = (pkt.proto is Protocol.TCP and pkt.has_flag(TcpFlags.SYN)
+                  and not pkt.has_flag(TcpFlags.ACK))
+        if key not in self._services and (is_syn or pkt.proto is not Protocol.TCP):
+            s = 0.75 if port < 1024 or pkt.dport == port else 0.55
+            if s > t:
+                scores.append(AnomalyScore(("new-service", s)))
+
+        # payload entropy deviation
+        if pkt.payload is not None and len(pkt.payload) >= 32:
+            stats = self._entropy.get(key)
+            if stats is not None and stats.n >= 8:
+                h = shannon_entropy(pkt.payload[:_ENTROPY_SAMPLE])
+                z = abs(h - stats.mean) / stats.std
+                s = _logistic(z, midpoint=6.0, steepness=0.8)
+                if s > t:
+                    scores.append(AnomalyScore(("entropy", s)))
+
+        # ICMP payload size
+        if pkt.proto is Protocol.ICMP and self._icmp_sizes.n >= 8:
+            z = abs(pkt.payload_len - self._icmp_sizes.mean) / self._icmp_sizes.std
+            s = _logistic(z, midpoint=6.0, steepness=0.7)
+            if s > t:
+                scores.append(AnomalyScore(("icmp-size", s)))
+
+        # token novelty on known services
+        token = self._token(pkt)
+        if token is not None and key in self._tokens:
+            if token not in self._tokens[key]:
+                s = 0.7
+                if s > t:
+                    scores.append(AnomalyScore(("token", s)))
+
+        self.detections += len(scores)
+        return scores
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def severity_for(score: float) -> Severity:
+        """Map a suspicion score onto the severity ladder."""
+        if score >= 0.9:
+            return Severity.HIGH
+        if score >= 0.7:
+            return Severity.MEDIUM
+        return Severity.LOW
+
+    def reset_live_state(self) -> None:
+        """Drop live windows (between runs); the baseline is kept."""
+        self._live_bins.clear()
+        self._live_fanout.clear()
+        self.packets_inspected = 0
+        self.detections = 0

@@ -1,0 +1,184 @@
+"""IDS subprocess components and the Figure-2 cardinality rules.
+
+The paper decomposes intrusion detection into five sequential subprocesses
+(Figure 1) and fixes the legal relational cardinalities between them
+(Figure 2)::
+
+    LoadBalancer --1c:M--> Sensor --M:M--> Analyzer --M:1--> Monitor --1:1c--> Manager
+    Manager --1c:M--> {LoadBalancer, Sensor, Analyzer, Monitor}
+
+Where ``1c`` marks a *conditional* (optional) side.  Concretely:
+
+* each Sensor receives from **at most one** LoadBalancer; a LoadBalancer
+  feeds **one or more** Sensors (load balancing is optional);
+* Sensors and Analyzers connect freely (**M:M**), and the two are often
+  combined one-to-one;
+* each Analyzer reports to **exactly one** Monitor; a Monitor aggregates
+  **one or more** Analyzers;
+* each Monitor is paired with **at most one** Manager, and a Manager with
+  exactly one Monitor;
+* a Manager may manage **any number** of other components, each of which has
+  at most one Manager.
+
+:func:`validate_wiring` enforces all of this and is called by the pipeline
+assembler; benchmarks F2 exercises acceptance and rejection exhaustively.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import CardinalityError
+
+__all__ = ["Subprocess", "Component", "validate_wiring"]
+
+
+class Subprocess(enum.Enum):
+    """The five IDS subprocesses of Figure 1."""
+
+    LOAD_BALANCER = "load-balancer"
+    SENSOR = "sensor"
+    ANALYZER = "analyzer"
+    MONITOR = "monitor"
+    MANAGER = "manager"
+
+
+#: (upstream kind, downstream kind) -> (max upstream per downstream,
+#:                                      max downstream per upstream);
+#: ``None`` means unbounded ("M").
+_DATA_RULES: Dict[Tuple[Subprocess, Subprocess], Tuple[int | None, int | None]] = {
+    (Subprocess.LOAD_BALANCER, Subprocess.SENSOR): (1, None),   # 1c:M
+    (Subprocess.SENSOR, Subprocess.ANALYZER): (None, None),     # M:M
+    (Subprocess.ANALYZER, Subprocess.MONITOR): (None, 1),       # M:1
+    (Subprocess.MONITOR, Subprocess.MANAGER): (1, 1),           # 1:1c
+}
+
+#: Kinds a manager may have management (control-plane) links to: everything
+#: except another manager.
+_MANAGEABLE = {
+    Subprocess.LOAD_BALANCER,
+    Subprocess.SENSOR,
+    Subprocess.ANALYZER,
+    Subprocess.MONITOR,
+}
+
+
+class Component:
+    """Base class for every pipeline component.
+
+    Tracks identity and wiring; behaviour lives in subclasses.
+    """
+
+    kind: Subprocess
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def validate_wiring(
+    components: Sequence[Component],
+    data_links: Iterable[Tuple[Component, Component]],
+    mgmt_links: Iterable[Tuple[Component, Component]] = (),
+) -> None:
+    """Check a proposed wiring against the Figure-2 cardinalities.
+
+    Parameters
+    ----------
+    components:
+        All components of the deployment.
+    data_links:
+        Directed ``(upstream, downstream)`` data-path edges.
+    mgmt_links:
+        Directed ``(manager, managed)`` control-plane edges.
+
+    Raises
+    ------
+    CardinalityError
+        On any violation: an edge between kinds with no defined
+        relationship, an edge referencing an unknown component, exceeding a
+        "1" side of a relationship, an essential subprocess missing, or a
+        sensor left with no analyzer.
+    """
+    comp_set = set(id(c) for c in components)
+    kinds = [c.kind for c in components]
+
+    # Essential subprocesses (section 2.2): sensing, analysis, monitoring.
+    for essential in (Subprocess.SENSOR, Subprocess.ANALYZER, Subprocess.MONITOR):
+        if essential not in kinds:
+            raise CardinalityError(f"missing essential subprocess: {essential.value}")
+    if kinds.count(Subprocess.MONITOR) > 1:
+        raise CardinalityError("only one monitoring console is supported per IDS")
+    if kinds.count(Subprocess.MANAGER) > 1:
+        raise CardinalityError("at most one management console per IDS (1:1c)")
+
+    data_links = list(data_links)
+    mgmt_links = list(mgmt_links)
+
+    for up, down in data_links:
+        if id(up) not in comp_set or id(down) not in comp_set:
+            raise CardinalityError(
+                f"data link {up!r} -> {down!r} references unknown component")
+        rule = _DATA_RULES.get((up.kind, down.kind))
+        if rule is None:
+            raise CardinalityError(
+                f"illegal data link {up.kind.value} -> {down.kind.value}")
+
+    # Count degrees per rule.
+    up_count: Dict[Tuple[int, Subprocess], int] = {}
+    down_count: Dict[Tuple[int, Subprocess], int] = {}
+    for up, down in data_links:
+        up_count[(id(down), up.kind)] = up_count.get((id(down), up.kind), 0) + 1
+        down_count[(id(up), down.kind)] = down_count.get((id(up), down.kind), 0) + 1
+
+    by_id = {id(c): c for c in components}
+    for (pair, rule) in _DATA_RULES.items():
+        up_kind, down_kind = pair
+        max_up, max_down = rule
+        if max_up is not None:
+            for c in components:
+                if c.kind is down_kind:
+                    n = up_count.get((id(c), up_kind), 0)
+                    if n > max_up:
+                        raise CardinalityError(
+                            f"{c.name!r} ({down_kind.value}) has {n} upstream "
+                            f"{up_kind.value}s; at most {max_up} allowed")
+        if max_down is not None:
+            for c in components:
+                if c.kind is up_kind:
+                    n = down_count.get((id(c), down_kind), 0)
+                    if n > max_down:
+                        raise CardinalityError(
+                            f"{c.name!r} ({up_kind.value}) feeds {n} "
+                            f"{down_kind.value}s; at most {max_down} allowed")
+
+    # Every sensor must reach an analyzer; every analyzer must reach the
+    # monitor (they are steps of an intrinsically sequential process).
+    for c in components:
+        if c.kind is Subprocess.SENSOR:
+            if down_count.get((id(c), Subprocess.ANALYZER), 0) == 0:
+                raise CardinalityError(f"sensor {c.name!r} feeds no analyzer")
+        if c.kind is Subprocess.ANALYZER:
+            if down_count.get((id(c), Subprocess.MONITOR), 0) == 0:
+                raise CardinalityError(f"analyzer {c.name!r} reports to no monitor")
+        if c.kind is Subprocess.LOAD_BALANCER:
+            if down_count.get((id(c), Subprocess.SENSOR), 0) == 0:
+                raise CardinalityError(f"load balancer {c.name!r} feeds no sensor")
+
+    # Management links: manager -> manageable kinds, one manager per target.
+    managed_by: Dict[int, int] = {}
+    for mgr, target in mgmt_links:
+        if id(mgr) not in comp_set or id(target) not in comp_set:
+            raise CardinalityError("management link references unknown component")
+        if mgr.kind is not Subprocess.MANAGER:
+            raise CardinalityError(
+                f"management link source {mgr.name!r} is not a manager")
+        if target.kind not in _MANAGEABLE:
+            raise CardinalityError(
+                f"{target.kind.value} cannot be a management target")
+        if managed_by.setdefault(id(target), id(mgr)) != id(mgr):
+            raise CardinalityError(
+                f"{target.name!r} managed by more than one console")

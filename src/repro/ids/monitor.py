@@ -1,0 +1,142 @@
+"""Monitoring subprocess: operator visibility and notification.
+
+Section 2.2: "The monitoring subprocess presents a view of the threat to the
+operator ... Monitors are required to notify an operator whenever a threat is
+severe according to a security policy."  The monitor is where Type-I error
+hurts operationally: "frequent alerts on trivial or normal events ... lead to
+the IDS being ignored by the operators."
+
+:class:`Monitor` keeps the full alert history (queryable), applies the
+security policy to decide notifications and response requests, and records
+everything with timestamps so the harness can measure *Timeliness* and
+notification latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.engine import Engine
+from .alert import Alert, Notification, Severity
+from .component import Component, Subprocess
+from .policy import ResponseAction, SecurityPolicy
+
+__all__ = ["Monitor"]
+
+
+class Monitor(Component):
+    """Monitoring console.
+
+    Parameters
+    ----------
+    policy:
+        The security policy mapping alerts to actions.
+    notify_delay_s:
+        Console processing delay between receiving an alert and the
+        operator notification going out.
+    channels:
+        Notification channels available ("console", "email", "pager", ...);
+        variety feeds the *variety of operator notification* metric.
+    """
+
+    kind = Subprocess.MONITOR
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        policy: Optional[SecurityPolicy] = None,
+        notify_delay_s: float = 0.1,
+        channels: Sequence[str] = ("console",),
+    ) -> None:
+        super().__init__(name)
+        if notify_delay_s < 0:
+            raise ConfigurationError("notify_delay_s must be >= 0")
+        if not channels:
+            raise ConfigurationError("at least one notification channel required")
+        self.engine = engine
+        self.policy = policy or SecurityPolicy.default()
+        self.notify_delay_s = float(notify_delay_s)
+        self.channels = tuple(channels)
+
+        self.alerts: List[Alert] = []
+        self.notifications: List[Notification] = []
+        self.error_reports: List[Tuple[float, str]] = []
+        self._responder: Optional[Callable[[ResponseAction, Alert], None]] = None
+
+    # ------------------------------------------------------------------
+    def set_responder(self, responder: Callable[[ResponseAction, Alert], None]) -> None:
+        """Attach the management console's response dispatcher (1:1c)."""
+        self._responder = responder
+
+    # ------------------------------------------------------------------
+    def receive(self, alert: Alert) -> None:
+        """Ingest an analyzer alert; apply policy."""
+        self.alerts.append(alert)
+        actions = self.policy.actions_for(alert)
+        for action in actions:
+            if action is ResponseAction.NOTIFY:
+                self.engine.schedule(self.notify_delay_s, self._notify, alert)
+            elif action is ResponseAction.LOG_ONLY:
+                pass
+            elif self._responder is not None:
+                self._responder(action, alert)
+            # actions other than NOTIFY/LOG with no console attached are
+            # silently unavailable (an IDS without a manager cannot respond)
+
+    def _notify(self, alert: Alert) -> None:
+        for channel in self.channels:
+            self.notifications.append(
+                Notification(time=self.engine.now, channel=channel, alert=alert))
+
+    def report_error(self, message: str, time: float) -> None:
+        """Failure-notification channel used by sensors (Error Reporting)."""
+        self.error_reports.append((time, message))
+
+    # ------------------------------------------------------------------
+    # operator queries ("historical querying ability")
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        min_severity: Severity = Severity.INFO,
+        category_prefix: Optional[str] = None,
+        since: float = 0.0,
+        src: Optional[object] = None,
+    ) -> List[Alert]:
+        out = []
+        for a in self.alerts:
+            if a.severity < min_severity or a.time < since:
+                continue
+            if category_prefix is not None and not a.category.startswith(category_prefix):
+                continue
+            if src is not None and a.src != src:
+                continue
+            out.append(a)
+        return out
+
+    def alert_trend(self, window_s: float = 60.0,
+                    category_prefix: Optional[str] = None) -> List[Tuple[float, int]]:
+        """Alert counts per time window ("Trend Analysis", Table 3's
+        companion list): ``[(window_start, count), ...]`` for non-empty
+        windows, in time order."""
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        counts: Dict[int, int] = {}
+        for alert in self.alerts:
+            if category_prefix is not None and not alert.category.startswith(
+                    category_prefix):
+                continue
+            counts[int(alert.time // window_s)] = counts.get(
+                int(alert.time // window_s), 0) + 1
+        return [(idx * window_s, n) for idx, n in sorted(counts.items())]
+
+    def severity_histogram(self) -> Dict[Severity, int]:
+        hist: Dict[Severity, int] = {s: 0 for s in Severity}
+        for a in self.alerts:
+            hist[a.severity] += 1
+        return hist
+
+    @property
+    def alert_count(self) -> int:
+        return len(self.alerts)

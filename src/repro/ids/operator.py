@@ -1,0 +1,138 @@
+"""Operator workload model: what actually happens to notifications.
+
+Section 2.2: "Frequent alerts on trivial or normal events result in a high
+false-positive rate (Type I error) and lead to the IDS being ignored by
+the operators."  This module gives that sentence a mechanism: a simulated
+watch-stander handles notifications sequentially with a per-alert triage
+time; notifications that wait longer than the operator's patience are
+*abandoned* -- the measured fraction of abandoned notifications is the
+operational face of a noisy IDS, feeding the human-factors extension's
+Operator Workload / Trust Calibration metrics with observations instead of
+facts.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, List, Optional, Tuple
+from collections import deque
+
+from ..errors import ConfigurationError
+from ..sim.engine import Engine
+from .alert import Notification
+
+__all__ = ["OperatorModel", "replay_notifications"]
+
+
+def replay_notifications(
+    notifications,
+    triage_time_s: float = 30.0,
+    patience_s: float = 600.0,
+) -> "OperatorModel":
+    """Post-hoc operator simulation over a recorded notification stream.
+
+    Feeds a monitor's notification history (e.g. after an accuracy run)
+    through a fresh :class:`OperatorModel` on its own clock and returns the
+    model with its handled/abandoned statistics populated -- the measured
+    input for the Operator Workload / Trust Calibration extension metrics.
+    """
+    engine = Engine()
+    operator = OperatorModel(engine, triage_time_s=triage_time_s,
+                             patience_s=patience_s)
+    for notification in notifications:
+        engine.schedule_at(notification.time, operator.notify, notification)
+    engine.run()
+    operator.flush()
+    return operator
+
+
+class OperatorModel:
+    """A single operator triaging notifications in FIFO order.
+
+    Parameters
+    ----------
+    triage_time_s:
+        Time to assess one notification.
+    patience_s:
+        Maximum queue wait before a notification is abandoned unread
+        (the "ignored IDS" regime begins when this starts happening).
+
+    Attach via :meth:`notify` -- e.g. wrap the monitor's notification list
+    or call it from a monitor subclass.  Statistics accumulate until read.
+    """
+
+    def __init__(self, engine: Engine, triage_time_s: float = 30.0,
+                 patience_s: float = 600.0, name: str = "operator") -> None:
+        if triage_time_s <= 0:
+            raise ConfigurationError("triage_time_s must be positive")
+        if patience_s <= 0:
+            raise ConfigurationError("patience_s must be positive")
+        self.engine = engine
+        self.triage_time_s = float(triage_time_s)
+        self.patience_s = float(patience_s)
+        self.name = name
+
+        self._queue: Deque[Tuple[float, Notification]] = deque()
+        self._busy = False
+        self.handled: List[Tuple[float, Notification]] = []
+        self.abandoned: List[Notification] = []
+
+    # ------------------------------------------------------------------
+    def notify(self, notification: Notification) -> None:
+        """A notification reaches the operator's queue."""
+        self._queue.append((self.engine.now, notification))
+        if not self._busy:
+            self._next()
+
+    def _next(self) -> None:
+        now = self.engine.now
+        while self._queue:
+            arrived, notification = self._queue.popleft()
+            if now - arrived > self.patience_s:
+                self.abandoned.append(notification)
+                continue
+            self._busy = True
+            self.engine.schedule(self.triage_time_s, self._finish,
+                                 notification)
+            return
+        self._busy = False
+
+    def _finish(self, notification: Notification) -> None:
+        self.handled.append((self.engine.now, notification))
+        self._busy = False
+        self._next()
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Abandon anything still queued past patience at the current time
+        (call at the end of an observation window)."""
+        now = self.engine.now
+        kept: Deque[Tuple[float, Notification]] = deque()
+        while self._queue:
+            arrived, notification = self._queue.popleft()
+            if now - arrived > self.patience_s:
+                self.abandoned.append(notification)
+            else:
+                kept.append((arrived, notification))
+        self._queue = kept
+
+    @property
+    def offered(self) -> int:
+        return len(self.handled) + len(self.abandoned) + len(self._queue) + \
+            (1 if self._busy else 0)
+
+    @property
+    def abandoned_fraction(self) -> float:
+        """Fraction of *resolved* notifications that were abandoned."""
+        total = len(self.handled) + len(self.abandoned)
+        if total == 0:
+            return 0.0
+        return len(self.abandoned) / total
+
+    def mean_response_time(self) -> float:
+        """Mean queue-to-handled latency of handled notifications."""
+        if not self.handled:
+            return float("nan")
+        # handled entries record completion time; latency relative to the
+        # notification's own timestamp
+        total = sum(done - n.time for done, n in self.handled)
+        return total / len(self.handled)

@@ -1,0 +1,493 @@
+"""Signature-based detection engine.
+
+"A signature-based IDS attempts to detect patterns in network traffic that
+are characteristic of known attacks" (section 2.1).  The engine evaluates a
+rule set against each packet (and light per-source state for threshold
+rules).  Like its commercial counterparts it only knows *previously known*
+attacks: the shipped :func:`default_ruleset` covers the attack library's
+known vectors but, by construction, not the ``novel=True`` ones.
+
+Sensitivity
+-----------
+The engine exposes the paper's *Adjustable Sensitivity* metric: a value in
+[0, 1].  Raising it lowers threshold-rule trigger counts and enables the
+low-specificity "noisy" rules (which occasionally fire on benign traffic) --
+trading false negatives for false positives exactly as Figure 4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..net.packet import Packet, Protocol, TcpFlags
+from .alert import Severity
+
+__all__ = [
+    "RuleMatch",
+    "SignatureRule",
+    "PayloadPatternRule",
+    "StreamPatternRule",
+    "HeaderRule",
+    "ThresholdRule",
+    "SignatureEngine",
+    "default_ruleset",
+]
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """The outcome of a rule firing on a packet."""
+
+    rule: str
+    category: str
+    severity: Severity
+    score: float
+    detail: str = ""
+
+
+class SignatureRule:
+    """Base rule.
+
+    Parameters
+    ----------
+    name / category / severity:
+        Identification and the threat class reported on match.
+    min_sensitivity:
+        The rule is evaluated only when the engine sensitivity is at least
+        this value; low-specificity rules carry high values so they only
+        fire on aggressive tunings.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        severity: Severity = Severity.MEDIUM,
+        min_sensitivity: float = 0.0,
+        base_score: float = 0.9,
+    ) -> None:
+        if not 0.0 <= min_sensitivity <= 1.0:
+            raise ConfigurationError("min_sensitivity must be in [0, 1]")
+        self.name = name
+        self.category = category
+        self.severity = severity
+        self.min_sensitivity = float(min_sensitivity)
+        self.base_score = float(base_score)
+
+    def match(self, pkt: Packet, now: float, sensitivity: float) -> Optional[RuleMatch]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-rule state (between evaluation runs)."""
+
+    def _hit(self, detail: str = "") -> RuleMatch:
+        return RuleMatch(self.name, self.category, self.severity,
+                         self.base_score, detail)
+
+
+class PayloadPatternRule(SignatureRule):
+    """Match any of a set of byte patterns in the packet payload.
+
+    Only materialized payloads are inspected -- a deliberate property: this
+    is the class of rule that makes payload realism matter (lesson 1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        patterns: Sequence[bytes],
+        ports: Optional[Sequence[int]] = None,
+        proto: Optional[Protocol] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        if not patterns:
+            raise ConfigurationError("patterns must be non-empty")
+        self.patterns = [bytes(p) for p in patterns]
+        self.ports = frozenset(int(p) for p in ports) if ports is not None else None
+        self.proto = proto
+
+    def match(self, pkt: Packet, now: float, sensitivity: float) -> Optional[RuleMatch]:
+        if pkt.payload is None:
+            return None
+        if self.proto is not None and pkt.proto is not self.proto:
+            return None
+        if self.ports is not None and pkt.dport not in self.ports and pkt.sport not in self.ports:
+            return None
+        for pattern in self.patterns:
+            if pattern in pkt.payload:
+                return self._hit(detail=f"pattern {pattern[:16]!r}")
+        return None
+
+
+class StreamPatternRule(SignatureRule):
+    """Match byte patterns across TCP segment boundaries.
+
+    Per-packet rules miss an attack whose signature straddles two segments
+    (an easy evasion).  This rule keeps a bounded per-direction rolling
+    buffer per flow: each segment is appended to the retained tail of the
+    stream so any pattern shorter than the tail cannot slip through a
+    segmentation seam.  Out-of-order delivery within a flow is handled by
+    sequencing on TCP sequence numbers when they are contiguous and
+    falling back to arrival order otherwise (the common fast path of
+    commercial engines; full reassembly lives in
+    :class:`repro.net.tcp.StreamReassembler` for analyzers that need it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        patterns: Sequence[bytes],
+        ports: Optional[Sequence[int]] = None,
+        max_flows: int = 8192,
+        window_s: float = 30.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        if not patterns:
+            raise ConfigurationError("patterns must be non-empty")
+        self.patterns = [bytes(p) for p in patterns]
+        self.ports = frozenset(int(p) for p in ports) if ports is not None else None
+        self.max_flows = int(max_flows)
+        self.window_s = float(window_s)
+        self._tail_len = max(len(p) for p in self.patterns) - 1
+        # (src, sport, dst, dport) -> [last_seen, expected_seq, tail bytes]
+        self._streams: Dict[tuple, list] = {}
+
+    def reset(self) -> None:
+        self._streams.clear()
+
+    def match(self, pkt: Packet, now: float, sensitivity: float) -> Optional[RuleMatch]:
+        if pkt.payload is None:
+            return None
+        if self.ports is not None and pkt.dport not in self.ports \
+                and pkt.sport not in self.ports:
+            return None
+        if pkt.proto is not Protocol.TCP:
+            # datagrams have no stream: plain per-packet matching
+            for pattern in self.patterns:
+                if pattern in pkt.payload:
+                    return self._hit(detail=f"pattern {pattern[:16]!r}")
+            return None
+        key = (pkt.src.value, pkt.sport, pkt.dst.value, pkt.dport)
+        state = self._streams.get(key)
+        if state is None or now - state[0] > self.window_s:
+            if state is None and len(self._streams) >= self.max_flows:
+                self._evict(now)
+            state = [now, None, b""]
+            self._streams[key] = state
+        state[0] = now
+        expected_seq = state[1]
+        if expected_seq is not None and pkt.seq != expected_seq:
+            # gap or reordering: restart the window at this segment
+            state[2] = b""
+        haystack = state[2] + pkt.payload
+        state[1] = pkt.seq + len(pkt.payload)
+        state[2] = haystack[-self._tail_len:] if self._tail_len else b""
+        for pattern in self.patterns:
+            if pattern in haystack:
+                state[2] = b""  # one hit per occurrence window
+                return self._hit(detail=f"stream pattern {pattern[:16]!r}")
+        return None
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        dead = [k for k, s in self._streams.items() if s[0] < cutoff]
+        if dead:
+            for k in dead:
+                del self._streams[k]
+        else:  # all fresh: drop the oldest
+            oldest = min(self._streams, key=lambda k: self._streams[k][0])
+            del self._streams[oldest]
+
+
+class HeaderRule(SignatureRule):
+    """Match on header fields only (proto, ports, flags, size)."""
+
+    def __init__(
+        self,
+        name: str,
+        proto: Optional[Protocol] = None,
+        dports: Optional[Sequence[int]] = None,
+        flags: Optional[TcpFlags] = None,
+        min_payload: Optional[int] = None,
+        predicate: Optional[Callable[[Packet], bool]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        self.proto = proto
+        self.dports = frozenset(int(p) for p in dports) if dports is not None else None
+        self.flags = flags
+        self.min_payload = min_payload
+        self.predicate = predicate
+
+    def match(self, pkt: Packet, now: float, sensitivity: float) -> Optional[RuleMatch]:
+        if self.proto is not None and pkt.proto is not self.proto:
+            return None
+        if self.dports is not None and pkt.dport not in self.dports:
+            return None
+        if self.flags is not None and (pkt.flags & self.flags) != self.flags:
+            return None
+        if self.min_payload is not None and pkt.payload_len < self.min_payload:
+            return None
+        if self.predicate is not None and not self.predicate(pkt):
+            return None
+        return self._hit()
+
+
+class ThresholdRule(SignatureRule):
+    """Fire when a keyed event count exceeds a threshold within a window.
+
+    This is the portscan-preprocessor family: ``key_fn`` buckets events
+    (e.g. by source address), ``value_fn`` extracts the counted item
+    (``None`` to skip the packet; a hashable to count *distinct* items, or
+    the sentinel :attr:`COUNT` to count occurrences).
+
+    The effective threshold scales with sensitivity: at 0 it doubles, at 1
+    it halves -- the knob the Figure-4 sweep turns.
+    """
+
+    COUNT = object()
+
+    def __init__(
+        self,
+        name: str,
+        key_fn: Callable[[Packet], Optional[object]],
+        value_fn: Callable[[Packet], Optional[object]],
+        threshold: int,
+        window_s: float = 5.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        if threshold < 1:
+            raise ConfigurationError("threshold must be >= 1")
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        self.key_fn = key_fn
+        self.value_fn = value_fn
+        self.threshold = int(threshold)
+        self.window_s = float(window_s)
+        # key -> (window_start, set-or-int, fired_in_window)
+        self._state: Dict[object, list] = {}
+
+    def reset(self) -> None:
+        self._state.clear()
+
+    def effective_threshold(self, sensitivity: float) -> int:
+        return max(1, int(round(self.threshold * (2.0 ** (1.0 - 2.0 * sensitivity)))))
+
+    def match(self, pkt: Packet, now: float, sensitivity: float) -> Optional[RuleMatch]:
+        key = self.key_fn(pkt)
+        if key is None:
+            return None
+        value = self.value_fn(pkt)
+        if value is None:
+            return None
+        state = self._state.get(key)
+        if state is None or now - state[0] > self.window_s:
+            state = [now, (0 if value is ThresholdRule.COUNT else set()), False]
+            self._state[key] = state
+        if value is ThresholdRule.COUNT:
+            state[1] += 1
+            count = state[1]
+        else:
+            state[1].add(value)
+            count = len(state[1])
+        if count >= self.effective_threshold(sensitivity) and not state[2]:
+            state[2] = True  # one alert per key per window
+            return self._hit(detail=f"count={count} key={key}")
+        return None
+
+
+class SignatureEngine:
+    """Evaluate a rule set against a packet stream.
+
+    Parameters
+    ----------
+    rules:
+        The rule set; order is preserved in match reporting.
+    sensitivity:
+        Engine-wide sensitivity in [0, 1]; see module docstring.
+    """
+
+    def __init__(self, rules: Sequence[SignatureRule], sensitivity: float = 0.5) -> None:
+        self.rules = list(rules)
+        self.sensitivity = sensitivity
+        self.packets_inspected = 0
+        self.matches = 0
+
+    @property
+    def sensitivity(self) -> float:
+        return self._sensitivity
+
+    @sensitivity.setter
+    def sensitivity(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError("sensitivity must be in [0, 1]")
+        self._sensitivity = float(value)
+
+    def inspect(self, pkt: Packet, now: float) -> List[RuleMatch]:
+        """Run every enabled rule against the packet."""
+        self.packets_inspected += 1
+        hits: List[RuleMatch] = []
+        s = self._sensitivity
+        for rule in self.rules:
+            if s < rule.min_sensitivity:
+                continue
+            m = rule.match(pkt, now, s)
+            if m is not None:
+                hits.append(m)
+        self.matches += len(hits)
+        return hits
+
+    def reset(self) -> None:
+        for rule in self.rules:
+            rule.reset()
+        self.packets_inspected = 0
+        self.matches = 0
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+
+# ----------------------------------------------------------------------
+# The shipped rule set (what a 2002 commercial signature IDS "knows").
+# ----------------------------------------------------------------------
+
+#: Destination ports regarded as ordinary services on the protected nets.
+_KNOWN_SERVICE_PORTS = frozenset({21, 22, 23, 25, 53, 80, 110, 143, 443,
+                                  7000, 7001, 8000})
+
+
+def default_ruleset(payload_inspection: bool = True) -> List[SignatureRule]:
+    """The stock rule set shipped with the simulated signature products.
+
+    ``payload_inspection=False`` yields a header-only variant (the class of
+    IDS lesson 1 says random-data floods *can* load-test).
+    """
+    from ..attacks.exploits import CGI_PROBE_PATHS, OVERFLOW_MARKER
+
+    rules: List[SignatureRule] = [
+        # --- reconnaissance -------------------------------------------
+        ThresholdRule(
+            "syn-portscan",
+            key_fn=lambda p: p.src.value if (
+                p.proto is Protocol.TCP
+                and p.has_flag(TcpFlags.SYN)
+                and not p.has_flag(TcpFlags.ACK)) else None,
+            value_fn=lambda p: p.dport,
+            threshold=40, window_s=5.0,
+            category="portscan", severity=Severity.MEDIUM),
+        ThresholdRule(
+            "icmp-sweep",
+            key_fn=lambda p: p.src.value if p.proto is Protocol.ICMP else None,
+            value_fn=lambda p: p.dst.value,
+            threshold=8, window_s=5.0,
+            category="host-sweep", severity=Severity.LOW),
+        # --- flooding --------------------------------------------------
+        ThresholdRule(
+            "syn-flood",
+            key_fn=lambda p: p.dst.value if (
+                p.proto is Protocol.TCP
+                and p.has_flag(TcpFlags.SYN)
+                and not p.has_flag(TcpFlags.ACK)) else None,
+            value_fn=lambda p: ThresholdRule.COUNT,
+            threshold=600, window_s=2.0,
+            category="syn-flood", severity=Severity.HIGH),
+        ThresholdRule(
+            "udp-flood",
+            key_fn=lambda p: p.dst.value if p.proto is Protocol.UDP
+            and p.dport not in (7000,) else None,
+            value_fn=lambda p: ThresholdRule.COUNT,
+            threshold=1500, window_s=2.0,
+            category="udp-flood", severity=Severity.HIGH),
+        # --- brute force -----------------------------------------------
+        ThresholdRule(
+            "telnet-bruteforce",
+            key_fn=lambda p: (p.src.value, p.dst.value) if (
+                p.proto is Protocol.TCP and p.dport == 23) else None,
+            value_fn=lambda p: ThresholdRule.COUNT,
+            threshold=60, window_s=10.0,
+            category="brute-force", severity=Severity.HIGH),
+    ]
+    if payload_inspection:
+        rules += [
+            # stream-aware: a marker split across TCP segments still matches
+            StreamPatternRule(
+                "shellcode-marker", [OVERFLOW_MARKER, b"\x90\x90\x90\x90\x90\x90"],
+                category="overflow-exploit", severity=Severity.CRITICAL),
+            StreamPatternRule(
+                "cgi-probes",
+                [p.split("?")[0].encode("ascii") for p in CGI_PROBE_PATHS],
+                ports=[80],
+                category="cgi-exploit", severity=Severity.HIGH),
+            PayloadPatternRule(
+                "login-failure-storm", [b"Login incorrect"],
+                ports=[23],
+                category="brute-force", severity=Severity.MEDIUM,
+                base_score=0.6),
+            # --- low-specificity "noisy" rules (high sensitivity only) --
+            _LongUriRule(),
+        ]
+        rules.append(_OddPortRule())
+    else:
+        rules.append(_OddPortRule())
+    return rules
+
+
+class _LongUriRule(SignatureRule):
+    """Noisy rule: flag HTTP requests with unusually long URIs.
+
+    The URI-length cutoff shrinks as sensitivity rises, so aggressive
+    tunings flag a tail of perfectly benign requests -- a realistic
+    false-positive source.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("long-uri", category="suspicious-http",
+                         severity=Severity.LOW, min_sensitivity=0.55,
+                         base_score=0.35)
+
+    def match(self, pkt: Packet, now: float, sensitivity: float) -> Optional[RuleMatch]:
+        if pkt.payload is None or pkt.proto is not Protocol.TCP or pkt.dport != 80:
+            return None
+        if not pkt.payload.startswith((b"GET ", b"POST ", b"HEAD ")):
+            return None
+        try:
+            uri = pkt.payload.split(b" ", 2)[1]
+        except IndexError:
+            return None
+        cutoff = int(120 - 90 * sensitivity)  # 120 chars at s=0 .. 30 at s=1
+        if len(uri) > cutoff:
+            return self._hit(detail=f"uri_len={len(uri)}")
+        return None
+
+
+class _OddPortRule(SignatureRule):
+    """Noisy rule: TCP SYN to a non-standard service port.
+
+    Catches the novel exploit's port 31337 -- but at high sensitivity also
+    fires on benign ephemeral-port traffic.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("odd-port-service", category="suspicious-connection",
+                         severity=Severity.LOW, min_sensitivity=0.7,
+                         base_score=0.3)
+
+    def match(self, pkt: Packet, now: float, sensitivity: float) -> Optional[RuleMatch]:
+        if pkt.proto is not Protocol.TCP:
+            return None
+        if not (pkt.has_flag(TcpFlags.SYN) and not pkt.has_flag(TcpFlags.ACK)):
+            return None
+        if pkt.dport in _KNOWN_SERVICE_PORTS:
+            return None
+        # At the highest sensitivities even high ephemeral ports are flagged;
+        # lower sensitivities only mind privileged/odd low ports.
+        cutoff = 1024 if sensitivity < 0.85 else 65536
+        if pkt.dport < cutoff or pkt.dport in (31337, 12345, 27374):
+            return self._hit(detail=f"dport={pkt.dport}")
+        return None

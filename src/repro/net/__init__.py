@@ -1,0 +1,44 @@
+"""Network substrate: addresses, packets, flows, TCP, links, nodes, traces."""
+
+from .address import IPv4Address, Subnet
+from .flow import FlowKey, FlowStats, FlowTracker
+from .link import Link
+from .node import BorderRouter, Host, Node, Switch
+from .packet import ETHERNET_HEADER, IP_HEADER, Packet, Protocol, TcpFlags
+from .tcp import (
+    MSS,
+    SessionTable,
+    StreamReassembler,
+    TcpConnection,
+    TcpState,
+    build_session,
+)
+from .topology import LanTestbed
+from .trace import TimedPacket, Trace
+
+__all__ = [
+    "IPv4Address",
+    "Subnet",
+    "FlowKey",
+    "FlowStats",
+    "FlowTracker",
+    "Link",
+    "Node",
+    "Host",
+    "Switch",
+    "BorderRouter",
+    "Packet",
+    "Protocol",
+    "TcpFlags",
+    "ETHERNET_HEADER",
+    "IP_HEADER",
+    "MSS",
+    "TcpState",
+    "TcpConnection",
+    "SessionTable",
+    "StreamReassembler",
+    "build_session",
+    "LanTestbed",
+    "TimedPacket",
+    "Trace",
+]

@@ -1,0 +1,203 @@
+"""Packet model.
+
+Packets carry the fields the IDS architecture actually inspects -- the IP
+five-tuple, TCP flags and sequence numbers, and an application payload --
+plus *ground-truth annotations* (``attack_id``) that never influence the
+systems under test but let the evaluation harness compute the Figure-3
+false-positive/false-negative ratios.
+
+Payloads may be *materialized* (real ``bytes``, for IDSs that inspect
+content) or *logical* (a declared length with no bytes allocated, for pure
+load experiments).  ``wire_size`` accounts headers + payload either way.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..errors import NetworkError
+from .address import IPv4Address
+
+__all__ = ["Protocol", "TcpFlags", "Packet", "ETHERNET_HEADER", "IP_HEADER"]
+
+ETHERNET_HEADER = 14
+IP_HEADER = 20
+_PROTO_HEADER = {  # transport header sizes
+    "TCP": 20,
+    "UDP": 8,
+    "ICMP": 8,
+}
+
+
+class Protocol(enum.Enum):
+    """Transport protocols the testbed models."""
+
+    TCP = "TCP"
+    UDP = "UDP"
+    ICMP = "ICMP"
+
+    @property
+    def header_size(self) -> int:
+        return _PROTO_HEADER[self.value]
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP control flags (subset relevant to session tracking)."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+_packet_counter = 0
+
+
+def _next_pid() -> int:
+    global _packet_counter
+    _packet_counter += 1
+    return _packet_counter
+
+
+class Packet:
+    """A single simulated network packet.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint addresses.
+    sport, dport:
+        Transport ports (0 for ICMP).
+    proto:
+        :class:`Protocol` member.
+    flags:
+        TCP flags (ignored for non-TCP).
+    seq, ack:
+        TCP sequence / acknowledgment numbers.
+    payload:
+        Materialized application bytes, or ``None`` for a logical payload.
+    payload_len:
+        Logical payload length; defaults to ``len(payload)``.
+    attack_id:
+        Ground-truth label: identifier of the attack instance this packet
+        belongs to, or ``None`` for benign traffic.  Invisible to IDS
+        components by convention (enforced by the evaluation harness, which
+        only passes packets -- never labels -- to products under test).
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "sport",
+        "dport",
+        "proto",
+        "flags",
+        "seq",
+        "ack",
+        "payload",
+        "_payload_len",
+        "attack_id",
+    )
+
+    def __init__(
+        self,
+        src: IPv4Address,
+        dst: IPv4Address,
+        sport: int = 0,
+        dport: int = 0,
+        proto: Protocol = Protocol.TCP,
+        flags: TcpFlags = TcpFlags.NONE,
+        seq: int = 0,
+        ack: int = 0,
+        payload: Optional[bytes] = None,
+        payload_len: Optional[int] = None,
+        attack_id: Optional[str] = None,
+    ) -> None:
+        if not isinstance(src, IPv4Address) or not isinstance(dst, IPv4Address):
+            raise NetworkError("src and dst must be IPv4Address instances")
+        if not (0 <= sport <= 65535 and 0 <= dport <= 65535):
+            raise NetworkError(f"port out of range: {sport}, {dport}")
+        self.pid = _next_pid()
+        self.src = src
+        self.dst = dst
+        self.sport = int(sport)
+        self.dport = int(dport)
+        self.proto = proto
+        self.flags = flags
+        self.seq = int(seq)
+        self.ack = int(ack)
+        self.payload = payload
+        if payload_len is None:
+            self._payload_len = len(payload) if payload is not None else 0
+        else:
+            if payload_len < 0:
+                raise NetworkError(f"negative payload_len {payload_len!r}")
+            if payload is not None and payload_len < len(payload):
+                raise NetworkError("payload_len smaller than materialized payload")
+            self._payload_len = int(payload_len)
+        self.attack_id = attack_id
+
+    # ------------------------------------------------------------------
+    @property
+    def payload_len(self) -> int:
+        return self._payload_len
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-the-wire bytes: Ethernet + IP + transport + payload."""
+        return ETHERNET_HEADER + IP_HEADER + self.proto.header_size + self._payload_len
+
+    @property
+    def is_benign(self) -> bool:
+        return self.attack_id is None
+
+    def has_flag(self, flag: TcpFlags) -> bool:
+        return bool(self.flags & flag)
+
+    def five_tuple(self) -> tuple:
+        return (self.src, self.sport, self.dst, self.dport, self.proto)
+
+    def reply_template(self, **overrides) -> "Packet":
+        """Build a packet in the reverse direction of this one.
+
+        Ground-truth labels propagate: replies elicited by attack traffic
+        belong to the same attack instance.
+        """
+        kwargs = dict(
+            src=self.dst,
+            dst=self.src,
+            sport=self.dport,
+            dport=self.sport,
+            proto=self.proto,
+            attack_id=self.attack_id,
+        )
+        kwargs.update(overrides)
+        return Packet(**kwargs)
+
+    def copy(self) -> "Packet":
+        """Duplicate this packet (fresh pid), e.g. for port mirroring."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            sport=self.sport,
+            dport=self.dport,
+            proto=self.proto,
+            flags=self.flags,
+            seq=self.seq,
+            ack=self.ack,
+            payload=self.payload,
+            payload_len=self._payload_len,
+            attack_id=self.attack_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" attack={self.attack_id}" if self.attack_id else ""
+        return (
+            f"<Packet #{self.pid} {self.src}:{self.sport} -> {self.dst}:{self.dport}"
+            f" {self.proto.value} len={self._payload_len}{label}>"
+        )

@@ -1,0 +1,28 @@
+"""Regeneration of the paper's tables and figures."""
+
+from .figures import (
+    figure1_architecture,
+    figure2_cardinality,
+    figure3_error_ratios,
+    figure4_error_curves,
+    figure5_weighted_scores,
+    figure6_weight_mapping,
+)
+from .render import ascii_chart, text_table
+from .tables import metric_table, scorecard_table, table1, table2, table3
+
+__all__ = [
+    "figure1_architecture",
+    "figure2_cardinality",
+    "figure3_error_ratios",
+    "figure4_error_curves",
+    "figure5_weighted_scores",
+    "figure6_weight_mapping",
+    "ascii_chart",
+    "text_table",
+    "metric_table",
+    "scorecard_table",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,162 @@
+"""Regeneration of the paper's figures as data + text renderings.
+
+Each ``figureN_*`` function returns a printable string; the underlying data
+series are available from the corresponding eval APIs for programmatic use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.requirements import RequirementSet
+from ..core.scorecard import Scorecard
+from ..core.scoring import WeightedResult
+from ..eval.accuracy import SensitivitySweep
+from ..eval.ground_truth import AccuracyResult
+from ..ids.component import Subprocess
+from ..ids.pipeline import IdsPipeline
+from .render import ascii_chart, text_table
+
+__all__ = [
+    "figure1_architecture",
+    "figure2_cardinality",
+    "figure3_error_ratios",
+    "figure4_error_curves",
+    "figure5_weighted_scores",
+    "figure6_weight_mapping",
+]
+
+
+def figure1_architecture(pipeline: IdsPipeline) -> str:
+    """Figure 1: the generalized network IDS architecture, as deployed."""
+    lines = [
+        "Figure 1: Generalized network IDS architecture",
+        "",
+        "  Internet --> Border Router --> [Load Balancer] --> Sensors",
+        "               --> Analyzers --> Monitoring Console",
+        "               [--> Management Console --> Traffic Control]",
+        "",
+        f"Deployment {pipeline.name!r}:",
+    ]
+    if pipeline.balancer is not None:
+        lines.append(f"  load balancer : {pipeline.balancer.name} "
+                     f"(strategy={pipeline.balancer.strategy})")
+    else:
+        lines.append("  load balancer : (none -- optional subprocess)")
+    for sensor in pipeline.sensors:
+        kind = "deep-inspection" if sensor.deep_inspection else "header-only"
+        lines.append(f"  sensor        : {sensor.name} ({kind}, "
+                     f"{sensor.ops_rate / 1e6:.0f} Mops/s)")
+    for analyzer in pipeline.analyzers:
+        lines.append(f"  analyzer      : {analyzer.name} "
+                     f"(correlation={'on' if analyzer.correlation else 'off'})")
+    lines.append(f"  monitor       : {pipeline.monitor.name} "
+                 f"(channels={', '.join(pipeline.monitor.channels)})")
+    if pipeline.console is not None:
+        caps = [k for k, v in pipeline.console.capabilities.items() if v]
+        lines.append(f"  manager       : {pipeline.console.name} "
+                     f"(responses: {', '.join(caps) or 'none'})")
+    else:
+        lines.append("  manager       : (none -- optional subprocess)")
+    lines.append(f"  analysis path : "
+                 f"{'separated' if pipeline.separated else 'combined'}")
+    return "\n".join(lines)
+
+
+def figure2_cardinality() -> str:
+    """Figure 2: relational cardinality of the IDS subprocesses."""
+    rows = [
+        ("Load Balancer", "Sensor", "1c : M",
+         "optional; each sensor has at most one balancer"),
+        ("Sensor", "Analyzer", "M : M",
+         "free association; often combined 1:1"),
+        ("Analyzer", "Monitor", "M : 1",
+         "every analyzer reports to exactly one monitor"),
+        ("Monitor", "Manager", "1 : 1c",
+         "at most one (optional) management console"),
+        ("Manager", "LB/Sensor/Analyzer/Monitor", "1c : M",
+         "central configuration of any number of components"),
+    ]
+    return text_table(
+        ("Upstream", "Downstream", "Cardinality", "Meaning"), rows,
+        title="Figure 2: Relational cardinality of IDS subprocesses",
+        align_right=False)
+
+
+def figure3_error_ratios(result: AccuracyResult) -> str:
+    """Figure 3: the FP/FN definitions instantiated on one run."""
+    a = len(result.actual)
+    d_true = len(result.detected)
+    d_false = result.false_alarms
+    rows = [
+        ("Transactions |T|", result.transactions, ""),
+        ("Actual intrusions |A|", a, ""),
+        ("Detected intrusions (true)", d_true, "A ∩ D"),
+        ("False positives |D - A|", d_false, "Type I"),
+        ("False negatives |A - D|", len(result.missed), "Type II"),
+        ("False Positive Ratio", f"{result.false_positive_ratio:.4f}",
+         "|D - A| / |T|"),
+        ("False Negative Ratio", f"{result.false_negative_ratio:.4f}",
+         "|A - D| / |T|"),
+    ]
+    return text_table(("Quantity", "Value", "Definition"), rows,
+                      title=f"Figure 3: error quantities for "
+                            f"{result.product!r}")
+
+
+def figure4_error_curves(sweep: SensitivitySweep) -> str:
+    """Figure 4: Type-I/Type-II error-rate curves and the EER."""
+    chart = ascii_chart(
+        sweep.sensitivities,
+        [sweep.fpr, sweep.fnr],
+        labels=["Type I (false positive)", "Type II (false negative)"],
+        title=f"Figure 4: error-rate curves for {sweep.product!r}",
+        x_label="sensitivity", y_label="% error (ratio)")
+    eer = sweep.eer()
+    if eer is None:
+        footer = "Equal Error Rate: not reached in the swept range"
+    else:
+        footer = (f"Equal Error Rate: rate={eer[1]:.4f} at "
+                  f"sensitivity={eer[0]:.3f}")
+    rows = [(f"{p.sensitivity:.2f}", f"{p.false_positive_ratio:.4f}",
+             f"{p.false_negative_ratio:.4f}") for p in sweep.points]
+    table = text_table(("sensitivity", "FPR", "FNR"), rows)
+    return f"{chart}\n{footer}\n{table}"
+
+
+def figure5_weighted_scores(results: Sequence[WeightedResult],
+                            weights: Mapping[str, float]) -> str:
+    """Figure 5: S_j = sum_i U_ij * W_ij, evaluated."""
+    from ..core.metric import MetricClass
+
+    rows = []
+    for r in results:
+        rows.append((r.product,
+                     f"{r.class_scores[MetricClass.LOGISTICAL]:.2f}",
+                     f"{r.class_scores[MetricClass.ARCHITECTURAL]:.2f}",
+                     f"{r.class_scores[MetricClass.PERFORMANCE]:.2f}",
+                     f"{r.total:.2f}"))
+    n_weighted = sum(1 for w in weights.values() if w != 0.0)
+    header = (f"Figure 5: weighted scores  S_j = sum_i U_ij * W_ij   "
+              f"({n_weighted} weighted metrics)")
+    return text_table(
+        ("product", "S_1 (logistical)", "S_2 (architectural)",
+         "S_3 (performance)", "total"),
+        rows, title=header)
+
+
+def figure6_weight_mapping(requirements: RequirementSet,
+                           weights: Mapping[str, float]) -> str:
+    """Figure 6: requirement-to-metric weight mapping, rendered."""
+    lines = [f"Figure 6: requirement-to-metric weighting "
+             f"({requirements.name!r})", "", "Requirements (least to most "
+             "important):"]
+    for req in requirements:
+        targets = ", ".join(sorted(req.contributes_to)) or "(none)"
+        lines.append(f"  w={req.weight:<5g} {req.name:<28s} -> {targets}")
+    lines.append("")
+    rows = [(metric, f"{weight:g}")
+            for metric, weight in sorted(weights.items(),
+                                         key=lambda kv: (-kv[1], kv[0]))]
+    lines.append(text_table(("Metric", "Derived weight"), rows))
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Plain-text rendering primitives: tables and line charts.
+
+Everything the benchmark harness prints goes through these helpers so the
+regenerated tables and figures have one consistent look.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["text_table", "ascii_chart", "series_to_csv"]
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_right: bool = True,
+) -> str:
+    """Render rows as a boxed monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    n_cols = max(len(r) for r in cells)
+    widths = [0] * n_cols
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str], pad: str = " ") -> str:
+        out = []
+        for i in range(n_cols):
+            cell = row[i] if i < len(row) else ""
+            out.append(cell.rjust(widths[i]) if (align_right and i > 0)
+                       else cell.ljust(widths[i]))
+        return "| " + " | ".join(out) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt(cells[0]))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(fmt(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    x: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    x_label: str = "x",
+) -> str:
+    """Render aligned series as CSV text (for external plotting tools)."""
+    if len(series) != len(labels):
+        raise ValueError("need one label per series")
+    for s in series:
+        if len(s) != len(x):
+            raise ValueError("every series must match the x axis length")
+    lines = [",".join([x_label, *labels])]
+    for i, xv in enumerate(x):
+        row = [repr(float(xv))] + [repr(float(s[i])) for s in series]
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more line series as an ASCII chart.
+
+    Each series gets a marker (``*``, ``o``, ``+`` ...); overlapping points
+    print ``#``.
+    """
+    markers = "*o+x@%"
+    xs = np.asarray(x, dtype=float)
+    data = [np.asarray(s, dtype=float) for s in series]
+    if not len(xs) or not data:
+        return "(empty chart)"
+    y_all = np.concatenate(data)
+    y_min, y_max = float(np.nanmin(y_all)), float(np.nanmax(y_all))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, ys in enumerate(data):
+        marker = markers[si % len(markers)]
+        for xv, yv in zip(xs, ys):
+            if np.isnan(yv):
+                continue
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            row = height - 1 - row
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "#"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{markers[i % len(markers)]} {label}"
+                        for i, label in enumerate(labels))
+    lines.append(legend)
+    lines.append(f"{y_max:10.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.4g} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<10.4g}" +
+                 " " * max(width - 20, 0) + f"{x_max:>10.4g}")
+    if x_label or y_label:
+        lines.append(" " * 12 + f"x: {x_label}   y: {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Regeneration of the paper's tables.
+
+* Tables 1-3 -- the metric-definition tables, straight from the catalog.
+* The section-3.2 product scorecards -- our measured/derived scores for the
+  four simulated products, rendered per class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.catalog import MetricCatalog, default_catalog
+from ..core.metric import MetricClass
+from ..core.scorecard import Scorecard
+from .render import text_table
+
+__all__ = ["table1", "table2", "table3", "metric_table", "scorecard_table"]
+
+
+def metric_table(metric_class: MetricClass,
+                 catalog: Optional[MetricCatalog] = None,
+                 table_only: bool = True,
+                 definition_width: int = 60) -> str:
+    """Render the definition table for one metric class."""
+    catalog = catalog or default_catalog()
+    titles = {
+        MetricClass.LOGISTICAL: "Table 1: Selected Logistical Metrics",
+        MetricClass.ARCHITECTURAL: "Table 2: Selected Architectural Metrics",
+        MetricClass.PERFORMANCE: "Table 3: Selected Performance Metrics",
+    }
+    rows = []
+    for metric in catalog.by_class(metric_class, table_only=table_only):
+        definition = metric.definition
+        if len(definition) > definition_width:
+            definition = definition[: definition_width - 3] + "..."
+        rows.append((metric.name, definition))
+    return text_table(("Metric", "Definition"), rows,
+                      title=titles[metric_class], align_right=False)
+
+
+def table1(catalog: Optional[MetricCatalog] = None) -> str:
+    """Table 1: selected logistical metrics."""
+    return metric_table(MetricClass.LOGISTICAL, catalog)
+
+
+def table2(catalog: Optional[MetricCatalog] = None) -> str:
+    """Table 2: selected architectural metrics."""
+    return metric_table(MetricClass.ARCHITECTURAL, catalog)
+
+
+def table3(catalog: Optional[MetricCatalog] = None) -> str:
+    """Table 3: selected performance metrics."""
+    return metric_table(MetricClass.PERFORMANCE, catalog)
+
+
+def scorecard_table(scorecard: Scorecard,
+                    metric_class: Optional[MetricClass] = None,
+                    table_only: bool = True,
+                    with_evidence: bool = False) -> str:
+    """Render the evaluated product scores (section 3.2 prototype run)."""
+    products = scorecard.products
+    metrics = [m for m in scorecard.catalog
+               if (metric_class is None or m.metric_class is metric_class)
+               and (m.in_paper_table or not table_only)]
+    headers = ["Metric", *products]
+    rows = []
+    for metric in metrics:
+        row = [metric.name]
+        for product in products:
+            entry = scorecard.get(product, metric.name)
+            row.append("-" if entry is None else entry.score)
+        rows.append(row)
+        if with_evidence:
+            for product in products:
+                entry = scorecard.get(product, metric.name)
+                if entry is not None and entry.evidence:
+                    rows.append([f"    [{product}] {entry.evidence}"] +
+                                [""] * len(products))
+    title = ("Product scorecard"
+             if metric_class is None
+             else f"Product scorecard -- {metric_class.name.lower()} metrics")
+    return text_table(headers, rows, title=title, align_right=True)

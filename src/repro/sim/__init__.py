@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel: engine, processes, RNG, resources, stats."""
+
+from .engine import Engine, EventHandle
+from .process import Process, Signal, start
+from .resources import HostCpu, LoadHandle
+from .rng import RngRegistry
+from .stats import Counter, RateMeter, Reservoir, Series, TimeWeighted, Welford
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "Process",
+    "Signal",
+    "start",
+    "HostCpu",
+    "LoadHandle",
+    "RngRegistry",
+    "Counter",
+    "RateMeter",
+    "Reservoir",
+    "Series",
+    "TimeWeighted",
+    "Welford",
+]

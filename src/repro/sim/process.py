@@ -1,0 +1,153 @@
+"""Coroutine-style processes on top of the callback engine.
+
+A :class:`Process` wraps a generator that yields either a ``float`` delay
+(sleep for that many simulated seconds) or a :class:`Signal` (wait until it is
+triggered).  This mirrors the familiar SimPy style while keeping the hot
+packet path on plain callbacks.
+
+Example
+-------
+>>> from repro.sim.engine import Engine
+>>> eng = Engine()
+>>> out = []
+>>> def worker():
+...     out.append(("start", eng.now))
+...     yield 2.0
+...     out.append(("done", eng.now))
+>>> _ = Process(eng, worker())
+>>> _ = eng.run()
+>>> out
+[('start', 0.0), ('done', 2.0)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import SimulationError
+from .engine import Engine
+
+__all__ = ["Signal", "Process"]
+
+
+class Signal:
+    """A one-shot event that processes can wait on.
+
+    A signal is *triggered* at most once with an optional value; every
+    waiter registered before or after triggering observes the same value.
+    """
+
+    __slots__ = ("_engine", "_triggered", "_value", "_waiters", "name")
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self._engine = engine
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"signal {self.name!r} not yet triggered")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters at the current sim time."""
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            # Wake on a fresh event so waiters run after the trigger's caller.
+            self._engine.schedule(0.0, cb, value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        if self._triggered:
+            self._engine.schedule(0.0, callback, self._value)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "triggered" if self._triggered else "pending"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class Process:
+    """Run a generator as a simulated process.
+
+    The generator may yield:
+
+    * a non-negative ``float``/``int`` -- sleep that many simulated seconds;
+    * a :class:`Signal` -- suspend until the signal triggers; the signal's
+      value is sent back into the generator.
+
+    When the generator returns, :attr:`done` becomes a triggered signal
+    carrying the generator's return value.
+    """
+
+    __slots__ = ("_engine", "_gen", "done", "name", "_alive")
+
+    def __init__(
+        self,
+        engine: Engine,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        self._engine = engine
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Signal(engine, name=f"{self.name}.done")
+        self._alive = True
+        engine.schedule(0.0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self) -> None:
+        """Stop the process; its ``done`` signal triggers with ``None``."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._gen.close()
+        if not self.done.triggered:
+            self.done.trigger(None)
+
+    def _resume(self, send_value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.trigger(stop.value)
+            return
+        if isinstance(yielded, Signal):
+            yielded.add_waiter(self._resume)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._alive = False
+                self._gen.close()
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded!r}"
+                )
+            self._engine.schedule(float(yielded), self._resume, None)
+        else:
+            self._alive = False
+            self._gen.close()
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+
+def start(engine: Engine, generator: Generator[Any, Any, Any], name: str = "") -> Process:
+    """Convenience wrapper: ``start(eng, gen())`` reads better inline."""
+    return Process(engine, generator, name=name)

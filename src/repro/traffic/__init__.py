@@ -1,0 +1,34 @@
+"""Workload generation: payloads, arrival processes, site profiles, mixer."""
+
+from .generators import constant_rate_arrivals, onoff_arrivals, poisson_arrivals
+from .mixer import Scenario, ScenarioBuilder
+from .payload import (
+    cluster_command,
+    cluster_telemetry,
+    http_request,
+    http_response,
+    random_payload,
+    shannon_entropy,
+    smtp_exchange,
+    telnet_login,
+)
+from .profiles import ClusterProfile, EcommerceProfile, TrafficProfile
+
+__all__ = [
+    "poisson_arrivals",
+    "constant_rate_arrivals",
+    "onoff_arrivals",
+    "Scenario",
+    "ScenarioBuilder",
+    "http_request",
+    "http_response",
+    "smtp_exchange",
+    "telnet_login",
+    "cluster_telemetry",
+    "cluster_command",
+    "random_payload",
+    "shannon_entropy",
+    "TrafficProfile",
+    "ClusterProfile",
+    "EcommerceProfile",
+]

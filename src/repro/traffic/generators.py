@@ -1,0 +1,96 @@
+"""Arrival-process generators.
+
+Session and packet arrival times for the background-traffic profiles.
+Each generator is a thin, seeded wrapper that produces arrival time arrays;
+profiles turn arrivals into concrete packets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["poisson_arrivals", "constant_rate_arrivals", "onoff_arrivals"]
+
+
+def poisson_arrivals(
+    rng: np.random.Generator,
+    rate_per_s: float,
+    duration_s: float,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Poisson-process arrival times on ``[start, start + duration)``.
+
+    Classic model for independent session starts (e.g. web clients).
+    """
+    if rate_per_s < 0:
+        raise ConfigurationError("rate_per_s must be non-negative")
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    if rate_per_s == 0:
+        return np.empty(0)
+    n = rng.poisson(rate_per_s * duration_s)
+    times = np.sort(rng.uniform(start, start + duration_s, size=n))
+    return times
+
+
+def constant_rate_arrivals(
+    rate_per_s: float,
+    duration_s: float,
+    start: float = 0.0,
+    jitter_rng: np.random.Generator | None = None,
+    jitter_frac: float = 0.0,
+) -> np.ndarray:
+    """Deterministic constant-rate arrivals with optional bounded jitter.
+
+    The natural model for the periodic telemetry of a real-time cluster:
+    messages are clocked, with tiny scheduling jitter.
+    """
+    if rate_per_s <= 0:
+        raise ConfigurationError("rate_per_s must be positive")
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    if not 0.0 <= jitter_frac < 1.0:
+        raise ConfigurationError("jitter_frac must be in [0, 1)")
+    period = 1.0 / rate_per_s
+    n = int(duration_s * rate_per_s)
+    times = start + np.arange(n) * period
+    if jitter_frac > 0.0 and jitter_rng is not None and n > 0:
+        jitter = jitter_rng.uniform(0, jitter_frac * period, size=n)
+        times = times + jitter
+    return times
+
+
+def onoff_arrivals(
+    rng: np.random.Generator,
+    on_rate_per_s: float,
+    duration_s: float,
+    mean_on_s: float = 1.0,
+    mean_off_s: float = 4.0,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Bursty on-off arrivals: exponential ON/OFF periods, Poisson inside ON.
+
+    Models interactive/bulk mixtures (file transfers, bursts of RPC calls).
+    """
+    if on_rate_per_s < 0:
+        raise ConfigurationError("on_rate_per_s must be non-negative")
+    if duration_s <= 0 or mean_on_s <= 0 or mean_off_s <= 0:
+        raise ConfigurationError("durations must be positive")
+    out: List[np.ndarray] = []
+    t = start
+    end = start + duration_s
+    on = bool(rng.random() < mean_on_s / (mean_on_s + mean_off_s))
+    while t < end:
+        span = float(rng.exponential(mean_on_s if on else mean_off_s))
+        span = min(span, end - t)
+        if on and span > 0:
+            out.append(poisson_arrivals(rng, on_rate_per_s, span, start=t))
+        t += span
+        on = not on
+    if not out:
+        return np.empty(0)
+    return np.concatenate(out)

@@ -1,0 +1,125 @@
+"""Tests for the metric model and the full catalog."""
+
+import pytest
+
+from repro.core.catalog import MetricCatalog, default_catalog
+from repro.core.metric import (
+    Metric,
+    MetricClass,
+    ObservationMethod,
+    ScoreAnchors,
+    validate_score,
+)
+from repro.errors import ScoreValueError, UnknownMetricError
+
+TABLE1 = [
+    "Distributed Management", "Ease of Configuration",
+    "Ease of Policy Maintenance", "License Management",
+    "Outsourced Solution", "Platform Requirements",
+]
+TABLE2 = [
+    "Adjustable Sensitivity", "Data Pool Selectability", "Data Storage",
+    "Host-based", "Multi-sensor Support", "Network-based",
+    "Scalable Load-balancing", "System Throughput",
+]
+TABLE3 = [
+    "Analysis of Compromise", "Error Reporting and Recovery",
+    "Firewall Interaction", "Induced Traffic Latency",
+    "Maximal Throughput with Zero Loss", "Network Lethal Dose",
+    "Observed False Negative Ratio", "Observed False Positive Ratio",
+    "Operational Performance Impact", "Router Interaction",
+    "SNMP Interaction", "Timeliness",
+]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+class TestValidateScore:
+    @pytest.mark.parametrize("ok", [0, 1, 2, 3, 4])
+    def test_valid(self, ok):
+        assert validate_score(ok) == ok
+
+    @pytest.mark.parametrize("bad", [-1, 5, 2.5, "2", None, True])
+    def test_invalid(self, bad):
+        with pytest.raises(ScoreValueError):
+            validate_score(bad)
+
+
+class TestMetricModel:
+    def test_requires_name_and_methods(self):
+        with pytest.raises(ValueError):
+            Metric(name="", metric_class=MetricClass.LOGISTICAL, definition="x")
+        with pytest.raises(ValueError):
+            Metric(name="x", metric_class=MetricClass.LOGISTICAL,
+                   definition="x", methods=frozenset())
+
+    def test_class_index_matches_paper(self):
+        assert MetricClass.LOGISTICAL == 1
+        assert MetricClass.ARCHITECTURAL == 2
+        assert MetricClass.PERFORMANCE == 3
+
+
+class TestDefaultCatalog:
+    def test_total_count(self, catalog):
+        assert len(catalog) == 52
+
+    def test_table_subsets_match_paper(self, catalog):
+        t1 = [m.name for m in catalog.by_class(MetricClass.LOGISTICAL,
+                                               table_only=True)]
+        t2 = [m.name for m in catalog.by_class(MetricClass.ARCHITECTURAL,
+                                               table_only=True)]
+        t3 = [m.name for m in catalog.by_class(MetricClass.PERFORMANCE,
+                                               table_only=True)]
+        assert t1 == TABLE1
+        assert t2 == TABLE2
+        assert t3 == TABLE3
+
+    def test_not_included_metrics_present(self, catalog):
+        for name in ["Quality of Documentation", "Anomaly Based",
+                     "Threat Correlation", "Trend Analysis",
+                     "Three Year Cost of Ownership", "Visibility"]:
+            metric = catalog.get(name)
+            assert not metric.in_paper_table
+
+    def test_paper_anchor_wording_preserved(self, catalog):
+        slb = catalog.get("Scalable Load-balancing")
+        assert slb.anchors.low == "No load balancing"
+        assert slb.anchors.high == "Intelligent, dynamic load balancing"
+        err = catalog.get("Error Reporting and Recovery")
+        assert "hang indefinitely" in err.anchors.low
+        assert "cold reboot" in err.anchors.average
+        assert "near real time" in err.anchors.high
+        dm = catalog.get("Distributed Management")
+        assert "encryption and authentication" in dm.anchors.high
+
+    def test_all_table_metrics_have_definitions(self, catalog):
+        for metric in catalog.table_metrics():
+            assert len(metric.definition) > 20
+
+    def test_observation_methods_designated(self, catalog):
+        assert ObservationMethod.OPEN_SOURCE in catalog.get(
+            "License Management").methods
+        assert ObservationMethod.ANALYSIS in catalog.get(
+            "Observed False Negative Ratio").methods
+
+    def test_unknown_metric_raises(self, catalog):
+        with pytest.raises(UnknownMetricError):
+            catalog.get("Nonexistent Metric")
+
+    def test_contains_and_names(self, catalog):
+        assert "Timeliness" in catalog
+        assert "Nope" not in catalog
+        assert len(catalog.names()) == 52
+
+    def test_duplicate_names_rejected(self):
+        m = Metric(name="X", metric_class=MetricClass.LOGISTICAL,
+                   definition="d")
+        with pytest.raises(ValueError):
+            MetricCatalog([m, m])
+
+    def test_class_partition_complete(self, catalog):
+        total = sum(len(catalog.by_class(c)) for c in MetricClass)
+        assert total == len(catalog)

@@ -1,0 +1,82 @@
+"""Tests for the human-dimension scorecard extension (paper future work)."""
+
+import pytest
+
+from repro.core.catalog import default_catalog
+from repro.core.extensions import (
+    extend_catalog,
+    human_factors_metrics,
+    human_factors_requirement,
+    score_operator_workload,
+)
+from repro.core.metric import MetricClass
+from repro.core.requirements import RequirementSet
+from repro.core.scorecard import Scorecard
+from repro.core.scoring import weighted_scores
+from repro.core.weighting import derive_weights
+
+
+class TestHumanFactorsMetrics:
+    def test_five_metrics_with_anchors(self):
+        metrics = human_factors_metrics()
+        assert len(metrics) == 5
+        for m in metrics:
+            assert m.anchors is not None
+            assert not m.in_paper_table  # extension, not a paper table
+
+    def test_extend_catalog_is_additive_and_pure(self):
+        base = default_catalog()
+        extended = extend_catalog(base)
+        assert len(extended) == len(base) + 5
+        assert len(base) == 52  # input untouched
+        assert "Operator Workload" in extended
+        assert "Operator Workload" not in base
+
+    def test_extension_duplicates_rejected(self):
+        base = default_catalog()
+        extended = extend_catalog(base)
+        with pytest.raises(ValueError):
+            extend_catalog(extended)  # adding the same five again
+
+    def test_classes_span_all_three(self):
+        classes = {m.metric_class for m in human_factors_metrics()}
+        assert classes == {MetricClass.LOGISTICAL, MetricClass.ARCHITECTURAL,
+                           MetricClass.PERFORMANCE}
+
+
+class TestHumanFactorsWorkflow:
+    def test_requirement_wires_into_weighting(self):
+        catalog = extend_catalog(default_catalog())
+        profile = RequirementSet("with-humans", [
+            human_factors_requirement(weight=2.0)])
+        weights = derive_weights(profile, catalog)
+        assert weights["Operator Workload"] == 2.0
+        assert weights["Console Interface Quality"] == 2.0
+        assert weights["Timeliness"] == 0.0
+
+    def test_scoring_end_to_end(self):
+        catalog = extend_catalog(default_catalog())
+        card = Scorecard(catalog)
+        card.add_product("p")
+        score, evidence = score_operator_workload(4.0)
+        card.set_score("p", "Operator Workload", score, evidence=evidence)
+        card.set_score("p", "Alert Comprehensibility", 3)
+        weights = {"Operator Workload": 1.0, "Alert Comprehensibility": 1.0}
+        result = weighted_scores(card, weights)[0]
+        assert result.total == score + 3
+
+    @pytest.mark.parametrize("rate,expected", [
+        (0.0, 4), (1.0, 4), (5.0, 3), (20.0, 2), (100.0, 1), (1000.0, 0)])
+    def test_workload_discretization(self, rate, expected):
+        score, evidence = score_operator_workload(rate)
+        assert score == expected
+        assert "notifications/hour" in evidence
+
+    def test_workload_monotone(self):
+        rates = [0, 2, 10, 50, 200, 500]
+        scores = [score_operator_workload(r)[0] for r in rates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            score_operator_workload(-1.0)

@@ -1,0 +1,103 @@
+"""Tests for scorecard JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core.catalog import default_catalog
+from repro.core.extensions import extend_catalog
+from repro.core.io import (
+    load_scorecard,
+    save_scorecard,
+    scorecard_from_dict,
+    scorecard_to_dict,
+)
+from repro.core.metric import ObservationMethod
+from repro.core.scorecard import Scorecard
+from repro.errors import ScorecardError, UnknownMetricError
+
+
+@pytest.fixture
+def card():
+    card = Scorecard(default_catalog())
+    card.add_product("a")
+    card.add_product("b")
+    card.set_score("a", "Timeliness", 3, evidence="0.4s", raw_value=0.4)
+    card.set_score("a", "License Management", 2,
+                   method=ObservationMethod.OPEN_SOURCE,
+                   evidence="per-site keys")
+    card.set_score("b", "Timeliness", 1)
+    return card
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, card):
+        data = scorecard_to_dict(card)
+        loaded = scorecard_from_dict(data, default_catalog())
+        assert loaded.products == card.products
+        assert len(loaded) == len(card)
+        entry = loaded.get("a", "Timeliness")
+        assert entry.score == 3
+        assert entry.evidence == "0.4s"
+        assert entry.raw_value == 0.4
+        assert entry.method is ObservationMethod.ANALYSIS
+        os_entry = loaded.get("a", "License Management")
+        assert os_entry.method is ObservationMethod.OPEN_SOURCE
+
+    def test_file_roundtrip(self, card, tmp_path):
+        path = str(tmp_path / "card.json")
+        save_scorecard(card, path)
+        loaded = load_scorecard(path, default_catalog())
+        assert loaded.score("b", "Timeliness") == 1
+        # the file is plain, stable JSON
+        with open(path) as fh:
+            raw = json.load(fh)
+        assert raw["format"] == "repro-scorecard"
+
+    def test_json_serializable(self, card):
+        json.dumps(scorecard_to_dict(card))  # no TypeError
+
+
+class TestValidationOnLoad:
+    def test_bad_format_rejected(self):
+        with pytest.raises(ScorecardError):
+            scorecard_from_dict({"format": "other"}, default_catalog())
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ScorecardError):
+            scorecard_from_dict({"format": "repro-scorecard", "version": 99},
+                                default_catalog())
+
+    def test_unknown_metric_rejected_by_default(self, card):
+        extended = extend_catalog(default_catalog())
+        rich = Scorecard(extended)
+        rich.add_product("p")
+        rich.set_score("p", "Operator Workload", 3)
+        data = scorecard_to_dict(rich)
+        with pytest.raises(UnknownMetricError):
+            scorecard_from_dict(data, default_catalog())
+
+    def test_unknown_metric_droppable(self):
+        extended = extend_catalog(default_catalog())
+        rich = Scorecard(extended)
+        rich.add_product("p")
+        rich.set_score("p", "Operator Workload", 3)
+        rich.set_score("p", "Timeliness", 2)
+        data = scorecard_to_dict(rich)
+        loaded = scorecard_from_dict(data, default_catalog(),
+                                     ignore_unknown_metrics=True)
+        assert loaded.score("p", "Timeliness") == 2
+        assert len(loaded) == 1
+
+    def test_unknown_method_rejected(self, card):
+        data = scorecard_to_dict(card)
+        data["entries"][0]["method"] = "hearsay"
+        with pytest.raises(ScorecardError):
+            scorecard_from_dict(data, default_catalog())
+
+    def test_score_validation_applies_on_load(self, card):
+        data = scorecard_to_dict(card)
+        data["entries"][0]["score"] = 9
+        from repro.errors import ScoreValueError
+        with pytest.raises(ScoreValueError):
+            scorecard_from_dict(data, default_catalog())

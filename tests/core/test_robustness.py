@@ -1,0 +1,84 @@
+"""Tests for ranking robustness under weight perturbation."""
+
+import pytest
+
+from repro.core.catalog import default_catalog
+from repro.core.robustness import pairwise_margin, ranking_robustness
+from repro.core.scorecard import Scorecard
+from repro.errors import ScorecardError
+
+
+def make_card(scores_a, scores_b):
+    card = Scorecard(default_catalog())
+    card.add_product("A")
+    card.add_product("B")
+    metrics = ["Timeliness", "SNMP Interaction", "Distributed Management"]
+    for metric, sa, sb in zip(metrics, scores_a, scores_b):
+        card.set_score("A", metric, sa)
+        card.set_score("B", metric, sb)
+    return card, metrics
+
+
+class TestRankingRobustness:
+    def test_dominant_product_fully_stable(self):
+        # A strictly dominates B: no positive perturbation can flip them
+        card, metrics = make_card((4, 4, 4), (1, 1, 1))
+        weights = {m: 1.0 for m in metrics}
+        report = ranking_robustness(card, weights, samples=200,
+                                    perturbation=0.5, seed=1)
+        assert report.baseline_ranking == ("A", "B")
+        assert report.winner_stability == 1.0
+        assert report.ranking_stability == 1.0
+        assert report.win_rates["A"] == 1.0
+
+    def test_knife_edge_decision_unstable(self):
+        # A and B trade wins across metrics; totals nearly tie
+        card, metrics = make_card((4, 0, 2), (0, 4, 2))
+        weights = {metrics[0]: 1.0, metrics[1]: 1.0, metrics[2]: 1.0}
+        report = ranking_robustness(card, weights, samples=400,
+                                    perturbation=0.4, seed=2)
+        assert 0.0 < report.winner_stability < 1.0
+        assert abs(report.win_rates["A"] + report.win_rates["B"] - 1.0) < 1e-9
+
+    def test_zero_perturbation_is_deterministic(self):
+        card, metrics = make_card((4, 1, 2), (3, 2, 2))
+        weights = {m: 1.0 for m in metrics}
+        report = ranking_robustness(card, weights, samples=50,
+                                    perturbation=0.0, seed=3)
+        assert report.winner_stability == 1.0
+        assert report.ranking_stability == 1.0
+
+    def test_seeded_reproducibility(self):
+        card, metrics = make_card((4, 0, 2), (0, 4, 2))
+        weights = {m: 1.0 for m in metrics}
+        r1 = ranking_robustness(card, weights, samples=100, seed=7)
+        r2 = ranking_robustness(card, weights, samples=100, seed=7)
+        assert r1.winner_stability == r2.winner_stability
+        assert r1.win_rates == r2.win_rates
+
+    def test_validation(self):
+        card, metrics = make_card((1, 1, 1), (1, 1, 1))
+        weights = {m: 1.0 for m in metrics}
+        with pytest.raises(ScorecardError):
+            ranking_robustness(card, weights, samples=0)
+        with pytest.raises(ScorecardError):
+            ranking_robustness(card, weights, perturbation=1.5)
+
+
+class TestPairwiseMargin:
+    def test_sign_and_scale(self):
+        card, metrics = make_card((4, 4, 4), (2, 2, 2))
+        weights = {m: 1.0 for m in metrics}
+        margin = pairwise_margin(card, weights, "A", "B")
+        assert margin == pytest.approx((12 - 6) / 18)
+        assert pairwise_margin(card, weights, "B", "A") == pytest.approx(
+            -margin)
+
+    def test_tie_is_zero(self):
+        card, metrics = make_card((2, 2, 2), (2, 2, 2))
+        weights = {m: 1.0 for m in metrics}
+        assert pairwise_margin(card, weights, "A", "B") == 0.0
+
+    def test_zero_weights_zero_margin(self):
+        card, metrics = make_card((4, 4, 4), (0, 0, 0))
+        assert pairwise_margin(card, {}, "A", "B") == 0.0

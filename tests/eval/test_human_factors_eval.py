@@ -1,0 +1,56 @@
+"""End-to-end test of the human-dimension extension in the full runner."""
+
+import pytest
+
+from repro.core.catalog import default_catalog
+from repro.core.extensions import extend_catalog, human_factors_requirement
+from repro.core.profiles import realtime_cluster_requirements
+from repro.eval.runner import EvaluationOptions, evaluate_field
+from repro.products import ManhuntProduct, NidProduct
+
+QUICK = EvaluationOptions(
+    scenario_duration_s=40.0, train_duration_s=15.0, n_hosts=4,
+    throughput_rates_pps=(500, 4000), throughput_probe_s=0.4,
+    include_dos=False)
+
+
+@pytest.fixture(scope="module")
+def extended_field():
+    profile = realtime_cluster_requirements()
+    profile.add(human_factors_requirement(weight=4.0))
+    catalog = extend_catalog(default_catalog())
+    return evaluate_field([NidProduct, ManhuntProduct], profile, QUICK,
+                          catalog=catalog)
+
+
+class TestHumanFactorsInRunner:
+    def test_extension_metrics_scored(self, extended_field):
+        card = extended_field.scorecard
+        for product in card.products:
+            assert card.missing(product) == []  # all 57 metrics
+            for name in ("Operator Workload", "Alert Comprehensibility",
+                         "Operator Trust Calibration",
+                         "Operator Learnability",
+                         "Console Interface Quality"):
+                entry = card.get(product, name)
+                assert entry is not None
+                assert 0 <= entry.score <= 4
+                assert entry.evidence
+
+    def test_weights_include_extension(self, extended_field):
+        assert extended_field.weights["Operator Workload"] == 4.0
+
+    def test_trust_calibration_tracks_false_alarms(self, extended_field):
+        card = extended_field.scorecard
+        # the anomaly product raised false alarms; the signature product
+        # raised none: trust calibration must not rank manhunt above nid
+        assert card.score("sim-nid", "Operator Trust Calibration") >= \
+            card.score("sim-manhunt", "Operator Trust Calibration")
+
+    def test_default_catalog_unaffected(self):
+        """Without the extended catalog the runner never emits extension
+        metrics (no UnknownMetricError, no stray entries)."""
+        field = evaluate_field([NidProduct],
+                               realtime_cluster_requirements(), QUICK)
+        assert "Operator Workload" not in field.scorecard.catalog
+        assert field.scorecard.missing("sim-nid") == []

@@ -1,0 +1,73 @@
+"""Unit tests for the observation->score discretizers.
+
+The ``_step`` cutpoint mapper and the per-metric threshold tables are where
+a fencepost error would silently skew every scorecard, so they get direct
+boundary coverage here (the runner tests only exercise realized values).
+"""
+
+import pytest
+
+from repro.eval.observer import _ORDINAL, _step
+
+
+class TestStepMapper:
+    def test_below_first_cut(self):
+        assert _step(0.0, (1.0, 2.0), (4, 2, 0)) == 4
+
+    def test_exactly_on_cut_takes_better_score(self):
+        # cuts are inclusive upper bounds
+        assert _step(1.0, (1.0, 2.0), (4, 2, 0)) == 4
+        assert _step(2.0, (1.0, 2.0), (4, 2, 0)) == 2
+
+    def test_beyond_last_cut(self):
+        assert _step(99.0, (1.0, 2.0), (4, 2, 0)) == 0
+
+    def test_negated_convention_for_higher_is_better(self):
+        # throughput-style metrics negate the raw value so that the same
+        # ascending-cut mapper yields higher scores for higher throughput
+        cuts = (-32000.0, -16000.0, -8000.0, -2000.0)
+        scores = (4, 3, 2, 1, 0)
+        assert _step(-64000.0, cuts, scores) == 4
+        assert _step(-32000.0, cuts, scores) == 4
+        assert _step(-31999.0, cuts, scores) == 3
+        assert _step(-100.0, cuts, scores) == 0
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1.5, 2.0, 3.0])
+    def test_monotone_nonincreasing(self, value):
+        cuts = (0.5, 1.0, 2.0)
+        scores = (4, 3, 1, 0)
+        higher = _step(value + 0.25, cuts, scores)
+        assert higher <= _step(value, cuts, scores)
+
+
+class TestOrdinalScales:
+    def test_every_scale_is_monotone_ordered(self):
+        """Each ordinal scale's declared order maps to ascending scores --
+        a transposed entry would silently invert a metric."""
+        expected_orders = {
+            "remote_management": ["none", "limited", "full-secure"],
+            "install_complexity": ["manual", "guided", "turnkey"],
+            "policy_maintenance": ["per-sensor", "central-restart",
+                                   "central-live"],
+            "license": ["per-sensor", "per-site", "enterprise"],
+            "outsourced": ["required-scans", "optional", "in-house"],
+            "docs": ["poor", "fair", "good"],
+            "admin_effort": ["high", "medium", "low"],
+            "support": ["none", "business-hours", "24x7"],
+            "training": ["none", "docs-only", "vendor-courses"],
+            "adjustable_sensitivity": ["none", "coarse", "continuous"],
+            "data_pool_select": ["none", "static", "runtime"],
+            "multi_sensor": ["single", "several", "integrated"],
+            "load_balancing": ["none", "static", "dynamic"],
+            "interoperability": ["none", "limited", "standards"],
+        }
+        for field, order in expected_orders.items():
+            scale = _ORDINAL[field]
+            scores = [scale[v] for v in order]
+            assert scores == sorted(scores), field
+            assert len(set(scores)) == len(scores), field
+
+    def test_scores_in_range(self):
+        for field, scale in _ORDINAL.items():
+            for value, score in scale.items():
+                assert 0 <= score <= 4, (field, value)

@@ -1,0 +1,150 @@
+"""Tests for the Figure-2 cardinality validator."""
+
+import pytest
+
+from repro.errors import CardinalityError
+from repro.ids.component import Component, Subprocess, validate_wiring
+
+
+class _C(Component):
+    def __init__(self, name, kind):
+        super().__init__(name)
+        self.kind = kind
+
+
+def lb(n="lb"):
+    return _C(n, Subprocess.LOAD_BALANCER)
+
+
+def sensor(n="s"):
+    return _C(n, Subprocess.SENSOR)
+
+
+def analyzer(n="a"):
+    return _C(n, Subprocess.ANALYZER)
+
+
+def monitor(n="m"):
+    return _C(n, Subprocess.MONITOR)
+
+
+def manager(n="mgr"):
+    return _C(n, Subprocess.MANAGER)
+
+
+def minimal():
+    s, a, m = sensor(), analyzer(), monitor()
+    return [s, a, m], [(s, a), (a, m)]
+
+
+class TestLegalWirings:
+    def test_minimal_pipeline(self):
+        comps, links = minimal()
+        validate_wiring(comps, links)  # no exception
+
+    def test_lb_one_to_many_sensors(self):
+        b = lb()
+        sensors = [sensor(f"s{i}") for i in range(4)]
+        a, m = analyzer(), monitor()
+        links = [(b, s) for s in sensors]
+        links += [(s, a) for s in sensors]
+        links.append((a, m))
+        validate_wiring([b, *sensors, a, m], links)
+
+    def test_sensors_analyzers_m_to_m(self):
+        sensors = [sensor(f"s{i}") for i in range(3)]
+        analyzers = [analyzer(f"a{i}") for i in range(2)]
+        m = monitor()
+        links = [(s, a) for s in sensors for a in analyzers]
+        links += [(a, m) for a in analyzers]
+        b = lb()
+        links += [(b, s) for s in sensors]
+        validate_wiring([b, *sensors, *analyzers, m], links)
+
+    def test_full_five_subprocess_deployment(self):
+        b, s, a, m, g = lb(), sensor(), analyzer(), monitor(), manager()
+        links = [(b, s), (s, a), (a, m), (m, g)]
+        mgmt = [(g, b), (g, s), (g, a), (g, m)]
+        validate_wiring([b, s, a, m, g], links, mgmt)
+
+
+class TestIllegalWirings:
+    def test_sensor_with_two_balancers(self):
+        b1, b2, s, a, m = lb("b1"), lb("b2"), sensor(), analyzer(), monitor()
+        links = [(b1, s), (b2, s), (s, a), (a, m)]
+        with pytest.raises(CardinalityError, match="upstream"):
+            validate_wiring([b1, b2, s, a, m], links)
+
+    def test_analyzer_with_two_monitors_rejected(self):
+        # two monitors is itself illegal (one console per IDS)
+        s, a = sensor(), analyzer()
+        m1, m2 = monitor("m1"), monitor("m2")
+        with pytest.raises(CardinalityError, match="one monitoring console"):
+            validate_wiring([s, a, m1, m2], [(s, a), (a, m1), (a, m2)])
+
+    def test_monitor_with_two_managers(self):
+        s, a, m = sensor(), analyzer(), monitor()
+        g1, g2 = manager("g1"), manager("g2")
+        with pytest.raises(CardinalityError, match="management console"):
+            validate_wiring([s, a, m, g1, g2], [(s, a), (a, m), (m, g1), (m, g2)])
+
+    def test_illegal_edge_kind(self):
+        s, a, m = sensor(), analyzer(), monitor()
+        b = lb()
+        # LB directly to analyzer is not a defined relationship
+        with pytest.raises(CardinalityError, match="illegal data link"):
+            validate_wiring([b, s, a, m], [(b, a), (s, a), (a, m)])
+
+    def test_skip_level_edge_rejected(self):
+        s, a, m = sensor(), analyzer(), monitor()
+        with pytest.raises(CardinalityError, match="illegal data link"):
+            validate_wiring([s, a, m], [(s, m), (s, a), (a, m)])
+
+    def test_missing_essential_subprocess(self):
+        s, a = sensor(), analyzer()
+        with pytest.raises(CardinalityError, match="missing essential"):
+            validate_wiring([s, a], [(s, a)])
+
+    def test_sensor_without_analyzer(self):
+        s1, s2, a, m = sensor("s1"), sensor("s2"), analyzer(), monitor()
+        b = lb()
+        links = [(b, s1), (b, s2), (s1, a), (a, m)]  # s2 dangles
+        with pytest.raises(CardinalityError, match="feeds no analyzer"):
+            validate_wiring([b, s1, s2, a, m], links)
+
+    def test_analyzer_without_monitor(self):
+        s, a1, a2, m = sensor(), analyzer("a1"), analyzer("a2"), monitor()
+        links = [(s, a1), (s, a2), (a1, m)]  # a2 dangles
+        with pytest.raises(CardinalityError, match="reports to no monitor"):
+            validate_wiring([s, a1, a2, m], links)
+
+    def test_balancer_without_sensor(self):
+        b, s, a, m = lb(), sensor(), analyzer(), monitor()
+        with pytest.raises(CardinalityError, match="feeds no sensor"):
+            validate_wiring([b, s, a, m], [(s, a), (a, m)])
+
+    def test_unknown_component_in_link(self):
+        comps, links = minimal()
+        stranger = sensor("stranger")
+        links.append((stranger, comps[1]))
+        with pytest.raises(CardinalityError, match="unknown component"):
+            validate_wiring(comps, links)
+
+    def test_mgmt_source_must_be_manager(self):
+        comps, links = minimal()
+        s, a, m = comps
+        with pytest.raises(CardinalityError, match="not a manager"):
+            validate_wiring(comps, links, [(s, a)])
+
+    def test_mgmt_target_cannot_be_manager(self):
+        s, a, m, g = sensor(), analyzer(), monitor(), manager()
+        g2 = manager("g2")
+        comps = [s, a, m, g]
+        links = [(s, a), (a, m), (m, g)]
+        with pytest.raises(CardinalityError):
+            validate_wiring([*comps, g2], links, [(g, g2)])
+
+    def test_target_managed_twice_is_fine_same_manager(self):
+        s, a, m, g = sensor(), analyzer(), monitor(), manager()
+        links = [(s, a), (a, m), (m, g)]
+        validate_wiring([s, a, m, g], links, [(g, s), (g, s)])

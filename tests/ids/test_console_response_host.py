@@ -1,0 +1,228 @@
+"""Tests for the management console, response devices and host agents."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.address import IPv4Address
+from repro.net.node import BorderRouter, Host
+from repro.net.packet import Packet, Protocol
+from repro.ids.alert import Alert, Severity
+from repro.ids.console import ManagementConsole
+from repro.ids.host import HostAgent, LoggingLevel
+from repro.ids.monitor import Monitor
+from repro.ids.policy import ResponseAction, SecurityPolicy
+from repro.ids.response import Firewall, Honeypot, RouterInterface, SnmpTrapReceiver
+from repro.ids.sensor import Sensor
+from repro.sim.engine import Engine
+from repro.traffic.payload import telnet_login
+
+ATT = IPv4Address("198.18.0.1")
+TGT = IPv4Address("10.0.0.5")
+
+
+def alert(severity=Severity.CRITICAL, category="syn-flood"):
+    return Alert(time=0.0, analyzer="a", category=category, src=ATT, dst=TGT,
+                 severity=severity, confidence=1.0)
+
+
+class TestFirewall:
+    def test_block_applies_after_latency(self):
+        eng = Engine()
+        fw = Firewall(eng, update_latency_s=0.2)
+        fw.request_block(ATT)
+        assert not fw.is_blocked(ATT)
+        eng.run()
+        assert fw.is_blocked(ATT)
+        assert fw.block_list_size == 1
+        assert len(fw.block_requests) == 1
+
+    def test_filter_drops_blocked(self):
+        eng = Engine()
+        fw = Firewall(eng, update_latency_s=0.0)
+        fw.request_block(ATT)
+        eng.run()
+        passed = []
+        fw.filter(Packet(src=ATT, dst=TGT), passed.append)
+        fw.filter(Packet(src=TGT, dst=ATT), passed.append)
+        assert len(passed) == 1
+        assert fw.blocked_packets == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Firewall(Engine(), update_latency_s=-1)
+
+
+class TestRouterInterfaceAndHoneypot:
+    def test_block_via_border_router(self):
+        eng = Engine()
+        router = BorderRouter(eng)
+        iface = RouterInterface(eng, router, update_latency_s=0.5)
+        iface.request_block(ATT)
+        eng.run()
+        assert router.is_blocked(ATT)
+
+    def test_redirect_to_honeypot(self):
+        eng = Engine()
+        router = BorderRouter(eng)
+        pot = Honeypot(eng, IPv4Address("10.0.0.250"))
+        iface = RouterInterface(eng, router)
+        iface.request_redirect(ATT, pot)
+        eng.run()
+        assert pot.is_attracted(ATT)
+        assert len(iface.redirect_requests) == 1
+
+    def test_honeypot_captures(self):
+        pot = Honeypot(Engine(), IPv4Address("10.0.0.250"))
+        p = Packet(src=ATT, dst=pot.address)
+        pot.capture(p)
+        assert pot.captured_packets == [p]
+
+
+class TestSnmp:
+    def test_trap_recording(self):
+        eng = Engine()
+        nms = SnmpTrapReceiver(eng)
+        nms.trap("1.3.6.1.4.1.2002.1", "portscan from 198.18.0.1")
+        assert nms.trap_count == 1
+        t, oid, detail = nms.traps[0]
+        assert oid.startswith("1.3.6")
+        assert "portscan" in detail
+
+
+class TestManagementConsole:
+    def _console(self, eng, **kw):
+        kw.setdefault("firewall", Firewall(eng, update_latency_s=0.1))
+        kw.setdefault("snmp", SnmpTrapReceiver(eng))
+        return ManagementConsole(eng, "mgr", **kw)
+
+    def test_respond_firewall_block(self):
+        eng = Engine()
+        con = self._console(eng)
+        con.respond(ResponseAction.FIREWALL_BLOCK, alert())
+        eng.run()
+        assert con.firewall.is_blocked(ATT)
+        assert len(con.responses) == 1
+        assert con.responses[0].action is ResponseAction.FIREWALL_BLOCK
+
+    def test_respond_snmp(self):
+        eng = Engine()
+        con = self._console(eng)
+        con.respond(ResponseAction.SNMP_TRAP, alert())
+        assert con.snmp.trap_count == 1
+
+    def test_missing_capability_noop(self):
+        eng = Engine()
+        con = ManagementConsole(eng, "mgr")  # no devices at all
+        con.respond(ResponseAction.FIREWALL_BLOCK, alert())
+        assert con.responses == []
+        assert con.capabilities == {"firewall": False, "router": False,
+                                    "snmp": False, "honeypot": False}
+
+    def test_honeypot_redirect_needs_router_and_pot(self):
+        eng = Engine()
+        router = BorderRouter(eng)
+        pot = Honeypot(eng, IPv4Address("10.0.0.250"))
+        con = ManagementConsole(eng, "mgr",
+                                router=RouterInterface(eng, router),
+                                honeypot=pot)
+        con.respond(ResponseAction.HONEYPOT_REDIRECT, alert())
+        eng.run()
+        assert pot.is_attracted(ATT)
+
+    def test_push_sensitivity_to_managed_sensors(self):
+        eng = Engine()
+
+        class D:
+            sensitivity = 0.5
+
+            def process(self, p, t):
+                return []
+
+            def reset(self):
+                pass
+
+        s1 = Sensor(eng, "s1", D())
+        s2 = Sensor(eng, "s2", D())
+        con = self._console(eng)
+        con.manage(s1)
+        con.manage(s2)
+        assert con.push_sensitivity(0.8) == 2
+        assert s1.detector.sensitivity == 0.8
+        assert s2.detector.sensitivity == 0.8
+        assert con.config_pushes == 1
+
+    def test_push_policy_to_monitor(self):
+        eng = Engine()
+        con = self._console(eng)
+        m = Monitor(eng, "m0")
+        con.manage(m)
+        new_policy = SecurityPolicy()
+        assert con.push_policy(new_policy) == 1
+        assert m.policy is new_policy
+
+
+class TestHostAgent:
+    def _host(self, eng):
+        return Host(eng, "h0", TGT)
+
+    def test_cpu_overhead_nominal_vs_c2(self):
+        eng = Engine()
+        host = self._host(eng)
+        agent = HostAgent(eng, host, logging_level=LoggingLevel.NOMINAL)
+        assert 0.03 <= host.cpu.demand <= 0.05
+        agent.set_logging_level(LoggingLevel.C2)
+        assert host.cpu.demand == pytest.approx(0.20)
+
+    def test_detects_failed_login_storm(self):
+        eng = Engine()
+        host = self._host(eng)
+        agent = HostAgent(eng, host, failed_login_threshold=5)
+        got = []
+        agent.add_sink(got.append)
+        bad = telnet_login("root", "guess", success=False)
+        for _ in range(5):
+            host.receive(Packet(src=ATT, dst=TGT, sport=23, dport=2000,
+                                payload=bad, attack_id="bf-1"))
+        assert len(got) == 1
+        assert got[0].category == "failed-login-storm"
+        assert got[0].truth_attack_id == "bf-1"
+        assert agent.report_bytes > 0
+
+    def test_detects_masquerade_after_failures(self):
+        eng = Engine()
+        host = self._host(eng)
+        agent = HostAgent(eng, host, failed_login_threshold=4)
+        got = []
+        agent.add_sink(got.append)
+        bad = telnet_login("root", "guess", success=False)
+        ok = telnet_login("root", "hunter2", success=True)
+        for _ in range(3):
+            host.receive(Packet(src=ATT, dst=TGT, sport=23, dport=2000, payload=bad))
+        host.receive(Packet(src=ATT, dst=TGT, sport=2000, dport=23, payload=ok))
+        cats = {d.category for d in got}
+        assert "masquerade-login" in cats
+
+    def test_benign_traffic_no_detections(self):
+        eng = Engine()
+        host = self._host(eng)
+        agent = HostAgent(eng, host)
+        got = []
+        agent.add_sink(got.append)
+        host.receive(Packet(src=ATT, dst=TGT, dport=80, payload=b"GET / HTTP/1.0"))
+        assert got == []
+        assert agent.log_events == 1
+
+    def test_migration_releases_cpu(self):
+        eng = Engine()
+        host = self._host(eng)
+        agent = HostAgent(eng, host, logging_level=LoggingLevel.C2)
+        assert host.cpu.demand > 0
+        agent.migrate()
+        assert host.cpu.demand == 0.0
+        assert agent.cpu_fraction == 0.0
+        assert agent.migrated
+
+    def test_validation(self):
+        eng = Engine()
+        with pytest.raises(ConfigurationError):
+            HostAgent(eng, self._host(eng), failed_login_threshold=0)

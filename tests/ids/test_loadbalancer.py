@@ -1,0 +1,204 @@
+"""Tests for the load-balancing strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.address import IPv4Address, Subnet
+from repro.net.packet import Packet, Protocol
+from repro.net.tcp import build_session
+from repro.ids.loadbalancer import (
+    DynamicBalancer,
+    HashBalancer,
+    NoBalancer,
+    StaticPlacementBalancer,
+)
+from repro.ids.sensor import Sensor
+from repro.sim.engine import Engine
+
+
+class NullDetector:
+    sensitivity = 0.5
+
+    def process(self, pkt, now):
+        return []
+
+    def reset(self):
+        pass
+
+
+def make_sensors(eng, n, ops_rate=1e9):
+    return [Sensor(eng, f"s{i}", NullDetector(), ops_rate=ops_rate,
+                   per_byte_ops=0.0, lethal_drop_rate=None)
+            for i in range(n)]
+
+
+def pkt(src="198.18.0.1", dst="10.0.0.5", sport=1000, dport=80, **kw):
+    return Packet(src=IPv4Address(src), dst=IPv4Address(dst),
+                  sport=sport, dport=dport, **kw)
+
+
+class TestNoBalancer:
+    def test_single_sensor_only(self):
+        eng = Engine()
+        with pytest.raises(ConfigurationError):
+            NoBalancer(eng, "lb", make_sensors(eng, 2))
+
+    def test_forwards_everything(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 1)
+        lb = NoBalancer(eng, "lb", sensors)
+        for _ in range(10):
+            lb.ingest(pkt())
+        eng.run()
+        assert sensors[0].received == 10
+        assert lb.balance_evenness() == 1.0
+
+
+class TestStaticPlacement:
+    def test_partitions_by_subnet(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 2)
+        lb = StaticPlacementBalancer(
+            eng, "lb", sensors, subnets=["10.0.0.0/25", "10.0.0.128/25"])
+        lb.ingest(pkt(dst="10.0.0.5"))
+        lb.ingest(pkt(dst="10.0.0.200"))
+        lb.ingest(pkt(dst="10.0.0.7"))
+        eng.run()
+        assert sensors[0].received == 2
+        assert sensors[1].received == 1
+
+    def test_fallthrough_to_last(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 2)
+        lb = StaticPlacementBalancer(
+            eng, "lb", sensors, subnets=["10.0.0.0/25", "10.0.0.128/25"])
+        lb.ingest(pkt(dst="192.0.2.1"))
+        eng.run()
+        assert sensors[1].received == 1
+
+    def test_skew_starves_and_overloads(self):
+        # all traffic to one subnet: the paper's overload/starvation case
+        eng = Engine()
+        sensors = make_sensors(eng, 2)
+        lb = StaticPlacementBalancer(
+            eng, "lb", sensors, subnets=["10.0.0.0/25", "10.0.0.128/25"])
+        for i in range(100):
+            lb.ingest(pkt(dst="10.0.0.5", sport=1000 + i))
+        eng.run()
+        assert lb.balance_evenness() == pytest.approx(0.5)  # worst case for 2
+
+    def test_subnet_count_must_match(self):
+        eng = Engine()
+        with pytest.raises(ConfigurationError):
+            StaticPlacementBalancer(eng, "lb", make_sensors(eng, 2),
+                                    subnets=["10.0.0.0/24"])
+
+
+class TestHashBalancer:
+    def test_session_consistency_both_directions(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 4)
+        lb = HashBalancer(eng, "lb", sensors)
+        a, b = IPv4Address("198.18.0.1"), IPv4Address("10.0.0.5")
+        session = build_session(a, b, 3456, 80, request=b"GET /",
+                                response=b"hi")
+        for p in session:
+            lb.ingest(p)
+        eng.run()
+        hit = [s for s in sensors if s.received > 0]
+        assert len(hit) == 1
+        assert hit[0].received == len(session)
+
+    def test_many_flows_spread_evenly(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 4)
+        lb = HashBalancer(eng, "lb", sensors)
+        rng = np.random.default_rng(1)
+        for _ in range(2000):
+            lb.ingest(pkt(src=f"198.18.{rng.integers(0,256)}.{rng.integers(1,255)}",
+                          sport=int(rng.integers(1024, 65000))))
+        eng.run()
+        assert lb.balance_evenness() > 0.95
+
+
+class TestDynamicBalancer:
+    def test_flow_stickiness(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 3)
+        lb = DynamicBalancer(eng, "lb", sensors)
+        a, b = IPv4Address("198.18.0.1"), IPv4Address("10.0.0.5")
+        for p in build_session(a, b, 4000, 80, request=b"x" * 100):
+            lb.ingest(p)
+        eng.run()
+        assert sum(1 for s in sensors if s.received > 0) == 1
+
+    def test_least_backlog_selection(self):
+        eng = Engine()
+        # sensor 0 is slow, sensor 1 fast
+        s0 = Sensor(eng, "slow", NullDetector(), ops_rate=1e3, header_ops=100.0,
+                    per_byte_ops=0.0, max_queue_delay_s=10.0, lethal_drop_rate=None)
+        s1 = Sensor(eng, "fast", NullDetector(), ops_rate=1e9, header_ops=100.0,
+                    per_byte_ops=0.0, lethal_drop_rate=None)
+        lb = DynamicBalancer(eng, "lb", [s0, s1])
+        for i in range(50):
+            lb.ingest(pkt(sport=1000 + i))  # distinct flows
+        eng.run()
+        assert s1.received > s0.received  # backlog steers away from slow
+
+    def test_avoids_downed_sensor(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 2)
+        sensors[0].up = False
+        lb = DynamicBalancer(eng, "lb", sensors)
+        for i in range(20):
+            lb.ingest(pkt(sport=1000 + i))
+        eng.run()
+        assert sensors[0].received == 0
+        assert sensors[1].received == 20
+
+    def test_evenness_under_uniform_flows(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 4)
+        lb = DynamicBalancer(eng, "lb", sensors)
+        for i in range(1000):
+            lb.ingest(pkt(sport=1024 + (i % 60000)))
+        eng.run()
+        assert lb.balance_evenness() > 0.9
+
+
+class TestBalancerCapacity:
+    def test_capacity_drops_excess(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 1)
+        lb = NoBalancer(eng, "lb", sensors, capacity_pps=10)
+        for _ in range(25):
+            lb.ingest(pkt())
+        eng.run()
+        assert lb.dropped == 15
+        assert sensors[0].received == 10
+
+    def test_capacity_window_resets(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 1)
+        lb = NoBalancer(eng, "lb", sensors, capacity_pps=10)
+        for i in range(15):
+            eng.schedule_at(0.01 * i, lb.ingest, pkt())
+        for i in range(15):
+            eng.schedule_at(1.5 + 0.01 * i, lb.ingest, pkt())
+        eng.run()
+        assert lb.dropped == 10  # 5 in each window
+
+    def test_inline_latency_delays_delivery(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 1)
+        lb = NoBalancer(eng, "lb", sensors, induced_latency_s=0.05)
+        lb.ingest(pkt())
+        assert sensors[0].received == 0  # not yet
+        eng.run()
+        assert sensors[0].received == 1
+        assert eng.now >= 0.05
+
+    def test_needs_sensors(self):
+        with pytest.raises(ConfigurationError):
+            HashBalancer(Engine(), "lb", [])

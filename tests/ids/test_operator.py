@@ -1,0 +1,118 @@
+"""Tests for the operator workload model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids.alert import Alert, Notification, Severity
+from repro.ids.operator import OperatorModel
+from repro.net.address import IPv4Address
+from repro.sim.engine import Engine
+
+SRC = IPv4Address("198.18.0.1")
+DST = IPv4Address("10.0.0.5")
+
+
+def note(t):
+    alert = Alert(time=t, analyzer="a", category="x", src=SRC, dst=DST,
+                  severity=Severity.MEDIUM, confidence=0.9)
+    return Notification(time=t, channel="console", alert=alert)
+
+
+class TestOperatorModel:
+    def test_handles_sparse_notifications(self):
+        eng = Engine()
+        op = OperatorModel(eng, triage_time_s=10.0, patience_s=100.0)
+        for t in (0.0, 50.0, 120.0):
+            eng.schedule_at(t, lambda t=t: op.notify(note(t)))
+        eng.run()
+        assert len(op.handled) == 3
+        assert op.abandoned == []
+        assert op.abandoned_fraction == 0.0
+
+    def test_sequential_triage(self):
+        eng = Engine()
+        op = OperatorModel(eng, triage_time_s=10.0, patience_s=1000.0)
+        eng.schedule_at(0.0, lambda: [op.notify(note(0.0)) for _ in range(3)])
+        eng.run()
+        done_times = [t for t, _ in op.handled]
+        assert done_times == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_flood_causes_abandonment(self):
+        eng = Engine()
+        op = OperatorModel(eng, triage_time_s=30.0, patience_s=60.0)
+        # 100 notifications at once: capacity 2/minute, patience 1 minute
+        eng.schedule_at(0.0, lambda: [op.notify(note(0.0))
+                                      for _ in range(100)])
+        eng.run()
+        op.flush()
+        assert len(op.abandoned) > 0
+        assert op.abandoned_fraction > 0.9
+        assert op.offered == 100
+
+    def test_mean_response_time(self):
+        eng = Engine()
+        op = OperatorModel(eng, triage_time_s=5.0, patience_s=1000.0)
+        eng.schedule_at(0.0, lambda: op.notify(note(0.0)))
+        eng.run()
+        assert op.mean_response_time() == pytest.approx(5.0)
+
+    def test_empty_response_time_nan(self):
+        op = OperatorModel(Engine())
+        assert math.isnan(op.mean_response_time())
+
+    def test_flush_keeps_fresh_items(self):
+        eng = Engine()
+        op = OperatorModel(eng, triage_time_s=30.0, patience_s=60.0)
+        eng.schedule_at(0.0, lambda: [op.notify(note(0.0))
+                                      for _ in range(2)])
+        eng.run(until=10.0)  # first being triaged, second queued and fresh
+        op.flush()
+        assert op.abandoned == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OperatorModel(Engine(), triage_time_s=0)
+        with pytest.raises(ConfigurationError):
+            OperatorModel(Engine(), patience_s=0)
+
+    def test_quiet_ids_vs_noisy_ids(self):
+        """The section-2.2 mechanism: at equal operator capacity, the noisy
+        IDS gets its notifications abandoned, the quiet one does not."""
+        def run(n_alerts):
+            eng = Engine()
+            op = OperatorModel(eng, triage_time_s=20.0, patience_s=120.0)
+            for i in range(n_alerts):
+                t = i * (3600.0 / n_alerts)
+                eng.schedule_at(t, lambda t=t: op.notify(note(t)))
+            eng.run()
+            op.flush()
+            return op.abandoned_fraction
+
+        assert run(10) == 0.0          # quiet: everything handled
+        assert run(2000) > 0.5         # noisy: mostly ignored
+
+
+class TestReplayNotifications:
+    def test_replay_matches_live_semantics(self):
+        from repro.ids.operator import replay_notifications
+
+        notes = [note(float(i) * 100.0) for i in range(5)]
+        op = replay_notifications(notes, triage_time_s=10.0,
+                                  patience_s=1000.0)
+        assert len(op.handled) == 5
+        assert op.abandoned_fraction == 0.0
+
+    def test_replay_flood_abandons(self):
+        from repro.ids.operator import replay_notifications
+
+        notes = [note(0.0) for _ in range(50)]
+        op = replay_notifications(notes, triage_time_s=60.0, patience_s=120.0)
+        assert op.abandoned_fraction > 0.5
+
+    def test_replay_empty(self):
+        from repro.ids.operator import replay_notifications
+
+        op = replay_notifications([])
+        assert op.offered == 0

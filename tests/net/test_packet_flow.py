@@ -1,0 +1,145 @@
+"""Tests for the packet model and flow tracking."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.address import IPv4Address
+from repro.net.flow import FlowKey, FlowTracker
+from repro.net.packet import Packet, Protocol, TcpFlags
+
+A = IPv4Address("10.0.0.1")
+B = IPv4Address("10.0.0.2")
+
+
+def mk(src=A, dst=B, sport=1234, dport=80, **kw):
+    return Packet(src=src, dst=dst, sport=sport, dport=dport, **kw)
+
+
+class TestPacket:
+    def test_wire_size_tcp(self):
+        p = mk(payload=b"x" * 100)
+        assert p.wire_size == 14 + 20 + 20 + 100
+
+    def test_wire_size_udp_icmp(self):
+        assert mk(proto=Protocol.UDP, payload_len=10).wire_size == 14 + 20 + 8 + 10
+        assert mk(proto=Protocol.ICMP, sport=0, dport=0).wire_size == 14 + 20 + 8
+
+    def test_logical_payload_without_bytes(self):
+        p = mk(payload_len=5000)
+        assert p.payload is None
+        assert p.payload_len == 5000
+
+    def test_payload_len_defaults_to_bytes(self):
+        assert mk(payload=b"abc").payload_len == 3
+
+    def test_payload_len_must_cover_bytes(self):
+        with pytest.raises(NetworkError):
+            mk(payload=b"abcd", payload_len=2)
+
+    def test_negative_payload_len_rejected(self):
+        with pytest.raises(NetworkError):
+            mk(payload_len=-1)
+
+    def test_port_range_enforced(self):
+        with pytest.raises(NetworkError):
+            mk(sport=70000)
+
+    def test_address_type_enforced(self):
+        with pytest.raises(NetworkError):
+            Packet(src="10.0.0.1", dst=B)  # type: ignore[arg-type]
+
+    def test_unique_pids(self):
+        assert mk().pid != mk().pid
+
+    def test_flags(self):
+        p = mk(flags=TcpFlags.SYN | TcpFlags.ACK)
+        assert p.has_flag(TcpFlags.SYN)
+        assert p.has_flag(TcpFlags.ACK)
+        assert not p.has_flag(TcpFlags.FIN)
+
+    def test_ground_truth(self):
+        assert mk().is_benign
+        p = mk(attack_id="scan-1")
+        assert not p.is_benign
+
+    def test_reply_template_reverses_direction(self):
+        p = mk(attack_id="x")
+        r = p.reply_template(flags=TcpFlags.ACK)
+        assert (r.src, r.dst, r.sport, r.dport) == (B, A, 80, 1234)
+        assert r.attack_id == "x"
+        assert r.has_flag(TcpFlags.ACK)
+
+    def test_copy_preserves_fields_fresh_pid(self):
+        p = mk(payload=b"data", attack_id="a1", flags=TcpFlags.PSH)
+        c = p.copy()
+        assert c.pid != p.pid
+        assert (c.src, c.dst, c.payload, c.attack_id, c.flags) == (
+            p.src, p.dst, p.payload, p.attack_id, p.flags)
+
+
+class TestFlowKey:
+    def test_bidirectional_canonicalization(self):
+        fwd = mk()
+        rev = mk(src=B, dst=A, sport=80, dport=1234)
+        assert FlowKey.of(fwd) == FlowKey.of(rev)
+
+    def test_different_flows_differ(self):
+        assert FlowKey.of(mk(dport=80)) != FlowKey.of(mk(dport=443))
+        assert FlowKey.of(mk()) != FlowKey.of(mk(proto=Protocol.UDP))
+
+
+class TestFlowTracker:
+    def test_observe_creates_and_updates(self):
+        ft = FlowTracker()
+        s1 = ft.observe(mk(payload=b"ab"), now=1.0)
+        s2 = ft.observe(mk(src=B, dst=A, sport=80, dport=1234), now=2.0)
+        assert s1 is s2
+        assert s1.packets == 2
+        assert s1.first_seen == 1.0 and s1.last_seen == 2.0
+        assert s1.duration == 1.0
+        assert len(ft) == 1
+
+    def test_forward_direction_counted(self):
+        ft = FlowTracker()
+        ft.observe(mk(), 0.0)
+        ft.observe(mk(src=B, dst=A, sport=80, dport=1234), 0.1)
+        ft.observe(mk(), 0.2)
+        stats = ft.get(mk())
+        assert stats is not None
+        # 'forward' means lo->hi endpoint; whichever it is, it saw the
+        # two same-direction packets or the one reverse packet.
+        assert stats.forward_packets in (1, 2)
+        assert stats.packets == 3
+
+    def test_idle_expiry(self):
+        ft = FlowTracker(idle_timeout=10.0)
+        ft.observe(mk(), 0.0)
+        ft.observe(mk(dport=443), 95.0)
+        removed = ft.expire(now=100.0)
+        assert removed == 1
+        assert len(ft) == 1
+        assert ft.evicted == 1
+
+    def test_capacity_eviction_drops_oldest(self):
+        ft = FlowTracker(max_flows=2)
+        ft.observe(mk(dport=1), 0.0)
+        ft.observe(mk(dport=2), 1.0)
+        ft.observe(mk(dport=3), 2.0)
+        assert len(ft) == 2
+        assert ft.get(mk(dport=1)) is None
+        assert ft.get(mk(dport=3)) is not None
+
+    def test_top_talkers(self):
+        ft = FlowTracker()
+        for _ in range(3):
+            ft.observe(mk(dport=80, payload_len=1000), 0.0)
+        ft.observe(mk(dport=443, payload_len=10), 0.0)
+        top = ft.top_talkers(1)
+        assert len(top) == 1
+        assert top[0].key.port_hi == 80 or top[0].key.port_lo == 80
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            FlowTracker(idle_timeout=0)
+        with pytest.raises(ValueError):
+            FlowTracker(max_flows=0)

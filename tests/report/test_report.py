@@ -1,0 +1,165 @@
+"""Tests for the table/figure rendering layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import default_catalog
+from repro.core.metric import MetricClass
+from repro.core.scorecard import Scorecard
+from repro.core.scoring import weighted_scores
+from repro.core.weighting import figure6_example
+from repro.eval.accuracy import SensitivitySweep, SweepPoint
+from repro.eval.ground_truth import AccuracyResult
+from repro.report.render import ascii_chart, text_table
+from repro.report.tables import scorecard_table, table1, table2, table3
+from repro.report.figures import (
+    figure2_cardinality,
+    figure3_error_ratios,
+    figure4_error_curves,
+    figure6_weight_mapping,
+)
+
+
+class TestRender:
+    def test_text_table_alignment_and_borders(self):
+        out = text_table(("a", "bb"), [("x", 1), ("yy", 22)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+-")
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # every row same width
+
+    def test_text_table_ragged_rows(self):
+        out = text_table(("a", "b", "c"), [("only",)])
+        assert "only" in out
+
+    def test_ascii_chart_basic(self):
+        x = [0, 1, 2, 3]
+        y1 = [0.0, 0.1, 0.2, 0.3]
+        y2 = [0.3, 0.2, 0.1, 0.0]
+        out = ascii_chart(x, [y1, y2], ["up", "down"], title="chart")
+        assert "chart" in out
+        assert "* up" in out and "o down" in out
+        assert "#" in out or ("*" in out and "o" in out)
+
+    def test_ascii_chart_constant_series(self):
+        out = ascii_chart([0, 1], [[1.0, 1.0]], ["flat"])
+        assert "flat" in out
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart([], [], []) == "(empty chart)"
+
+
+class TestTables:
+    def test_tables_contain_paper_metric_names(self):
+        assert "Distributed Management" in table1()
+        assert "Scalable Load-balancing" in table2()
+        assert "Network Lethal Dose" in table3()
+
+    def test_table_titles(self):
+        assert table1().startswith("Table 1")
+        assert table2().startswith("Table 2")
+        assert table3().startswith("Table 3")
+
+    def test_scorecard_table(self):
+        card = Scorecard(default_catalog())
+        card.add_product("A")
+        card.set_score("A", "Timeliness", 3)
+        out = scorecard_table(card, MetricClass.PERFORMANCE)
+        assert "Timeliness" in out
+        assert "| 3 |" in out.replace("  ", " ") or " 3 " in out
+        # unscored metrics show a dash
+        assert "-" in out
+
+
+class TestFigures:
+    def test_figure2_lists_all_relationships(self):
+        out = figure2_cardinality()
+        for c in ("1c : M", "M : M", "M : 1", "1 : 1c"):
+            assert c in out
+
+    def test_figure3_shows_formulas(self):
+        res = AccuracyResult(product="p", transactions=100,
+                             actual={"a", "b"}, detected={"a"},
+                             missed={"b"}, false_alarms=3, alerts_total=10)
+        out = figure3_error_ratios(res)
+        assert "|D - A| / |T|" in out
+        assert "0.0300" in out   # FPR = 3/100
+        assert "0.0100" in out   # FNR = 1/100
+
+    def test_figure4_with_and_without_eer(self):
+        def mk(points):
+            return SensitivitySweep(product="p", points=[
+                SweepPoint(s, fp, fn, None) for s, fp, fn in points])
+
+        crossing = mk([(0.0, 0.0, 0.4), (1.0, 0.4, 0.0)])
+        out = figure4_error_curves(crossing)
+        assert "Equal Error Rate: rate=" in out
+        flat = mk([(0.0, 0.0, 0.4), (1.0, 0.1, 0.2)])
+        out2 = figure4_error_curves(flat)
+        assert "not reached" in out2
+
+    def test_figure6_renders_paper_numbers(self):
+        reqs, weights = figure6_example()
+        out = figure6_weight_mapping(reqs, weights)
+        for v in ("6.5", "8", "5", "3"):
+            assert v in out
+
+    def test_figure1_and_figure5(self):
+        from repro.ids.analyzer import Analyzer
+        from repro.ids.monitor import Monitor
+        from repro.ids.pipeline import IdsPipeline
+        from repro.ids.sensor import Sensor, SignatureDetector
+        from repro.report.figures import (
+            figure1_architecture,
+            figure5_weighted_scores,
+        )
+        from repro.sim.engine import Engine
+
+        eng = Engine()
+        p = IdsPipeline(eng, "demo",
+                        [Sensor(eng, "s0", SignatureDetector())],
+                        [Analyzer(eng, "a0")], Monitor(eng, "m0")).wire()
+        out = figure1_architecture(p)
+        assert "s0" in out and "a0" in out and "m0" in out
+        assert "Border Router" in out
+
+        card = Scorecard(default_catalog())
+        card.add_product("A")
+        card.set_score("A", "Timeliness", 4)
+        results = weighted_scores(card, {"Timeliness": 2.0})
+        out5 = figure5_weighted_scores(results, {"Timeliness": 2.0})
+        assert "8.00" in out5
+        assert "S_3" in out5 or "performance" in out5
+
+
+class TestSeriesCsv:
+    def test_csv_layout(self):
+        from repro.report.render import series_to_csv
+
+        csv = series_to_csv([0.0, 1.0], [[0.1, 0.2], [0.9, 0.8]],
+                            ["a", "b"], x_label="s")
+        lines = csv.splitlines()
+        assert lines[0] == "s,a,b"
+        assert lines[1] == "0.0,0.1,0.9"
+        assert len(lines) == 3
+
+    def test_csv_validation(self):
+        from repro.report.render import series_to_csv
+
+        with pytest.raises(ValueError):
+            series_to_csv([0.0], [[1.0]], ["a", "b"])
+        with pytest.raises(ValueError):
+            series_to_csv([0.0, 1.0], [[1.0]], ["a"])
+
+
+class TestScorecardEvidence:
+    def test_with_evidence_rows(self):
+        from repro.report.tables import scorecard_table
+
+        card = Scorecard(default_catalog())
+        card.add_product("A")
+        card.set_score("A", "Timeliness", 3, evidence="0.4 s mean")
+        out = scorecard_table(card, MetricClass.PERFORMANCE,
+                              with_evidence=True)
+        assert "[A] 0.4 s mean" in out

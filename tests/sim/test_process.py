@@ -1,0 +1,132 @@
+"""Tests for the coroutine process layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import Process, Signal, start
+
+
+class TestProcessBasics:
+    def test_simple_delays(self):
+        eng = Engine()
+        out = []
+        def worker():
+            out.append(eng.now)
+            yield 1.5
+            out.append(eng.now)
+            yield 2.5
+            out.append(eng.now)
+        start(eng, worker())
+        eng.run()
+        assert out == [0.0, 1.5, 4.0]
+
+    def test_return_value_on_done_signal(self):
+        eng = Engine()
+        def worker():
+            yield 1.0
+            return 42
+        p = start(eng, worker())
+        eng.run()
+        assert p.done.triggered
+        assert p.done.value == 42
+        assert not p.alive
+
+    def test_requires_generator(self):
+        with pytest.raises(SimulationError):
+            Process(Engine(), lambda: None)  # type: ignore[arg-type]
+
+    def test_negative_delay_raises(self):
+        eng = Engine()
+        def worker():
+            yield -1.0
+        start(eng, worker())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_bad_yield_type_raises(self):
+        eng = Engine()
+        def worker():
+            yield "nope"
+        start(eng, worker())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_interrupt_stops_process(self):
+        eng = Engine()
+        out = []
+        def worker():
+            yield 1.0
+            out.append("first")
+            yield 10.0
+            out.append("never")
+        p = start(eng, worker())
+        eng.schedule(5.0, p.interrupt)
+        eng.run()
+        assert out == ["first"]
+        assert p.done.triggered and p.done.value is None
+
+
+class TestSignals:
+    def test_wait_on_signal_receives_value(self):
+        eng = Engine()
+        sig = Signal(eng, name="data")
+        out = []
+        def waiter():
+            value = yield sig
+            out.append((eng.now, value))
+        start(eng, waiter())
+        eng.schedule(3.0, sig.trigger, "payload")
+        eng.run()
+        assert out == [(3.0, "payload")]
+
+    def test_already_triggered_signal_resumes_immediately(self):
+        eng = Engine()
+        sig = Signal(eng)
+        sig.trigger("early")
+        out = []
+        def waiter():
+            v = yield sig
+            out.append((eng.now, v))
+        start(eng, waiter())
+        eng.run()
+        assert out == [(0.0, "early")]
+
+    def test_multiple_waiters_all_wake(self):
+        eng = Engine()
+        sig = Signal(eng)
+        out = []
+        def waiter(tag):
+            v = yield sig
+            out.append((tag, v))
+        start(eng, waiter("a"))
+        start(eng, waiter("b"))
+        eng.schedule(1.0, sig.trigger, 7)
+        eng.run()
+        assert sorted(out) == [("a", 7), ("b", 7)]
+
+    def test_double_trigger_raises(self):
+        eng = Engine()
+        sig = Signal(eng)
+        sig.trigger()
+        with pytest.raises(SimulationError):
+            sig.trigger()
+
+    def test_value_before_trigger_raises(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Signal(eng).value
+
+    def test_process_chaining_via_done(self):
+        eng = Engine()
+        out = []
+        def producer():
+            yield 2.0
+            return "result"
+        def consumer(prod):
+            v = yield prod.done
+            out.append((eng.now, v))
+        p = start(eng, producer())
+        start(eng, consumer(p))
+        eng.run()
+        assert out == [(2.0, "result")]

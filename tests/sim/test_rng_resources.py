@@ -1,0 +1,117 @@
+"""Tests for RNG registry and host CPU resource model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.resources import HostCpu
+from repro.sim.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(123).stream("x")
+        b = RngRegistry(123).stream("x")
+        assert list(a.random(8)) == list(b.random(8))
+
+    def test_different_names_differ(self):
+        reg = RngRegistry(123)
+        a = reg.stream("x").random(8)
+        b = reg.stream("y").random(8)
+        assert list(a) != list(b)
+
+    def test_independent_of_request_order(self):
+        r1 = RngRegistry(5)
+        r2 = RngRegistry(5)
+        r1.stream("a")  # request 'a' first in r1 only
+        x1 = r1.stream("b").random(4)
+        x2 = r2.stream("b").random(4)
+        assert list(x1) == list(x2)
+
+    def test_stream_cached(self):
+        reg = RngRegistry(0)
+        assert reg.stream("s") is reg.stream("s")
+
+    def test_fork_changes_streams(self):
+        reg = RngRegistry(9)
+        f = reg.fork(1)
+        assert f.seed != reg.seed
+        assert list(reg.stream("z").random(4)) != list(f.stream("z").random(4))
+
+    def test_fork_deterministic(self):
+        assert RngRegistry(9).fork(3).seed == RngRegistry(9).fork(3).seed
+
+
+class TestHostCpu:
+    def test_initial_idle(self):
+        cpu = HostCpu(Engine())
+        assert cpu.utilization == 0.0
+        assert cpu.demand == 0.0
+        assert not cpu.saturated
+
+    def test_add_and_release_load(self):
+        cpu = HostCpu(Engine())
+        h = cpu.add_load("ids", 0.05)
+        assert cpu.utilization == pytest.approx(0.05)
+        h.release()
+        assert cpu.utilization == 0.0
+
+    def test_release_idempotent(self):
+        cpu = HostCpu(Engine())
+        h = cpu.add_load("ids", 0.25)
+        h.release()
+        h.release()
+        assert cpu.demand == 0.0
+
+    def test_saturation(self):
+        cpu = HostCpu(Engine())
+        cpu.add_load("a", 0.7)
+        cpu.add_load("b", 0.6)
+        assert cpu.demand == pytest.approx(1.3)
+        assert cpu.utilization == 1.0
+        assert cpu.saturated
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HostCpu(Engine()).add_load("bad", -0.1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HostCpu(Engine(), capacity_ops=0)
+
+    def test_service_time_scales_with_residual(self):
+        eng = Engine()
+        cpu = HostCpu(eng, capacity_ops=1000.0)
+        base = cpu.service_time(100.0)
+        assert base == pytest.approx(0.1)
+        cpu.add_load("audit", 0.5)
+        assert cpu.service_time(100.0) == pytest.approx(0.2)
+
+    def test_service_time_floor_when_saturated(self):
+        cpu = HostCpu(Engine(), capacity_ops=1000.0)
+        cpu.add_load("hog", 2.0)
+        # residual floors at 1% of capacity
+        assert cpu.service_time(100.0) == pytest.approx(100.0 / 10.0)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HostCpu(Engine()).service_time(-1.0)
+
+    def test_average_utilization_time_weighted(self):
+        eng = Engine()
+        cpu = HostCpu(eng)
+        eng.schedule(0.0, cpu.add_load, "ids", 0.2)
+        eng.run(until=10.0)
+        # load 0.2 held over entire window
+        assert cpu.average_utilization(until=10.0) == pytest.approx(0.2, abs=1e-9)
+
+    def test_consumer_average_attribution(self):
+        eng = Engine()
+        cpu = HostCpu(eng)
+        handle = {}
+        eng.schedule(0.0, lambda: handle.setdefault("h", cpu.add_load("ids", 0.4)))
+        eng.schedule(5.0, lambda: handle["h"].release())
+        eng.run(until=10.0)
+        # 0.4 for 5 s out of 10 s -> 0.2
+        assert cpu.consumer_average("ids", until=10.0) == pytest.approx(0.2, abs=1e-9)
+        assert cpu.consumer_average("other") == 0.0

@@ -1,0 +1,121 @@
+"""Tests for payload builders and the entropy helper."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import payload as pl
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestHttp:
+    def test_request_shape(self, rng):
+        req = pl.http_request(rng, host="shop.example.com", path="/cart")
+        text = req.decode("ascii")
+        assert text.startswith("GET /cart HTTP/1.0\r\n")
+        assert "Host: shop.example.com\r\n" in text
+        assert text.count("\r\n\r\n") == 1
+
+    def test_request_with_body_has_content_length(self, rng):
+        req = pl.http_request(rng, method="POST", body=b"a=1&b=2")
+        assert b"Content-Length: 7\r\n" in req
+        assert req.endswith(b"a=1&b=2")
+
+    def test_request_random_path_from_pool(self, rng):
+        req = pl.http_request(rng)
+        first_line = req.split(b"\r\n")[0].decode()
+        assert first_line.split()[1] in [
+            "/", "/index.html", "/images/logo.gif", "/cart", "/checkout",
+            "/search", "/products/widget-17", "/api/status", "/login",
+            "/css/site.css"]
+
+    def test_response_content_length_matches_body(self, rng):
+        resp = pl.http_response(rng, body_size=500)
+        head, _, body = resp.partition(b"\r\n\r\n")
+        assert len(body) == 500
+        assert b"Content-Length: 500" in head
+
+    def test_response_heavy_tailed_sizes_vary(self, rng):
+        sizes = [len(pl.http_response(rng)) for _ in range(50)]
+        assert max(sizes) > 4 * min(sizes)
+
+    def test_response_status_line(self, rng):
+        assert pl.http_response(rng, status=404, body_size=1).startswith(
+            b"HTTP/1.0 404 Not Found")
+
+
+class TestOtherProtocols:
+    def test_smtp_structure(self, rng):
+        msg = pl.smtp_exchange(rng, sender="alice").decode("ascii")
+        assert msg.startswith("HELO ")
+        assert "MAIL FROM:<alice@example.mil>" in msg
+        assert msg.endswith("\r\n.\r\n")
+
+    def test_telnet_login_success_vs_failure(self):
+        ok = pl.telnet_login("root", "secret", success=True)
+        bad = pl.telnet_login("root", "guess", success=False)
+        assert b"Last login" in ok
+        assert b"Login incorrect" in bad
+        assert b"root" in ok and b"guess" in bad
+
+    def test_cluster_telemetry_format(self, rng):
+        body = pl.cluster_telemetry(rng, node_id=5, n_samples=8)
+        magic, mtype, node, _seq = struct.unpack("<IHHI", body[:12])
+        assert magic == 0x52544D53
+        assert mtype == 1
+        assert node == 5
+        samples = np.frombuffer(body[12:], dtype="<f4")
+        assert len(samples) == 8
+        assert np.all(np.abs(samples - 100.0) < 50.0)  # physical-looking
+
+    def test_cluster_command_format(self):
+        body = pl.cluster_command(2, "rebalance", 0.5)
+        magic, mtype, node, _ = struct.unpack("<IHHI", body[:12])
+        assert (magic, mtype, node) == (0x52544D53, 2, 2)
+        assert body[12:28].rstrip(b"\x00") == b"rebalance"
+        (arg,) = struct.unpack("<d", body[28:36])
+        assert arg == 0.5
+
+    def test_cluster_command_truncates_long_names(self):
+        body = pl.cluster_command(1, "x" * 40)
+        assert len(body[12:28]) == 16
+
+
+class TestRandomAndEntropy:
+    def test_random_payload_size_and_determinism(self):
+        a = pl.random_payload(np.random.default_rng(1), 256)
+        b = pl.random_payload(np.random.default_rng(1), 256)
+        assert len(a) == 256
+        assert a == b
+
+    def test_random_payload_zero(self, rng):
+        assert pl.random_payload(rng, 0) == b""
+
+    def test_entropy_extremes(self):
+        assert pl.shannon_entropy(b"") == 0.0
+        assert pl.shannon_entropy(b"\x00" * 1000) == 0.0
+        assert pl.shannon_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+
+    def test_entropy_ordering_random_vs_text(self, rng):
+        random = pl.random_payload(rng, 4096)
+        text = pl.http_response(rng, body_size=4096)
+        telemetry = pl.cluster_telemetry(rng, 1, n_samples=1000)
+        assert pl.shannon_entropy(random) > 7.5
+        assert pl.shannon_entropy(text) < 6.0
+        assert pl.shannon_entropy(random) > pl.shannon_entropy(telemetry)
+
+    @given(st.binary(min_size=1, max_size=2048))
+    @settings(max_examples=100, deadline=None)
+    def test_entropy_bounds(self, data):
+        h = pl.shannon_entropy(data)
+        assert 0.0 <= h <= 8.0 + 1e-9
+        # entropy is permutation-invariant
+        assert pl.shannon_entropy(bytes(sorted(data))) == pytest.approx(h)
