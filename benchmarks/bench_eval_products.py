@@ -3,15 +3,34 @@
 Regenerates the complete weighted evaluation under the real-time-cluster
 requirement profile and prints the ranking.  Benchmarks a single-product
 evaluation pass.
+
+Run directly for the parallel-harness speedup measurement::
+
+    python benchmarks/bench_eval_products.py --workers 4
+
+times the full four-product field evaluation serially and through the
+process-pool harness, verifies the outputs are byte-identical, and reports
+the wall-clock speedup (>= 2x expected on a 4-core runner).
 """
 
+import argparse
+import dataclasses
+import os
+import sys
+import time
+
+from repro.core.profiles import realtime_cluster_requirements
 from repro.core.report import format_weighted_results
 from repro.core.scoring import rank_products
-from repro.eval.runner import EvaluationOptions, evaluate_product
+from repro.eval.runner import EvaluationOptions, evaluate_field, evaluate_product
 from repro.products import NidProduct
 from repro.report.tables import scorecard_table
 
-from conftest import emit
+try:
+    from conftest import emit
+except ImportError:  # direct `python benchmarks/bench_eval_products.py` run
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import emit
 
 QUICK = EvaluationOptions(
     scenario_duration_s=40.0, train_duration_s=15.0, n_hosts=4,
@@ -37,3 +56,61 @@ def test_e1_full_product_evaluation(benchmark, field_eval):
     # benchmark one full single-product pass (quick configuration)
     benchmark.pedantic(evaluate_product, args=(NidProduct, QUICK),
                        rounds=1, iterations=1)
+
+
+def _render(field) -> str:
+    return (format_weighted_results(field.results) + "\n\n" +
+            scorecard_table(field.scorecard, table_only=False))
+
+
+def main(argv=None) -> int:
+    """Serial-vs-parallel wall-clock comparison of the E1 field evaluation."""
+    from conftest import E1_OPTIONS, PRODUCT_FACTORIES
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the quick configuration instead of E1")
+    parser.add_argument("--cache-dir", default=None,
+                        help="also exercise the on-disk result cache")
+    args = parser.parse_args(argv)
+
+    base = QUICK if args.quick else E1_OPTIONS
+    serial = dataclasses.replace(base, workers=1, cache_dir=None)
+    parallel = dataclasses.replace(base, workers=args.workers,
+                                   cache_dir=args.cache_dir)
+    factories = list(PRODUCT_FACTORIES)
+    requirements = realtime_cluster_requirements()
+
+    print(f"serial field evaluation ({len(factories)} products)...")
+    t0 = time.perf_counter()
+    f_serial = evaluate_field(factories, requirements, serial)
+    t_serial = time.perf_counter() - t0
+    print(f"  {t_serial:.2f}s")
+
+    print(f"parallel field evaluation (workers={args.workers})...")
+    t0 = time.perf_counter()
+    f_parallel = evaluate_field(factories, requirements, parallel)
+    t_parallel = time.perf_counter() - t0
+    print(f"  {t_parallel:.2f}s")
+
+    identical = _render(f_serial) == _render(f_parallel)
+    speedup = t_serial / max(t_parallel, 1e-9)
+    cores = os.cpu_count() or 1
+    print(f"\nrendered outputs byte-identical: {identical}")
+    print(f"speedup: {speedup:.2f}x on {cores} core(s)")
+    if cores < args.workers:
+        print(f"note: only {cores} core(s) available; pool overhead "
+              f"dominates below workers={args.workers} cores")
+    if args.cache_dir:
+        t0 = time.perf_counter()
+        f_cached = evaluate_field(factories, requirements, parallel)
+        t_cached = time.perf_counter() - t0
+        print(f"cached re-run: {t_cached:.2f}s "
+              f"({t_serial / max(t_cached, 1e-9):.0f}x vs serial), "
+              f"identical: {_render(f_cached) == _render(f_serial)}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

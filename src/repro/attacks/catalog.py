@@ -20,7 +20,14 @@ from .insider import TrustAbuse
 from .scans import HostSweep, PortScan, SlowPortScan
 from .tunnel import IcmpTunnel
 
-__all__ = ["ATTACK_CLASSES", "make_attack", "standard_attack_suite"]
+__all__ = ["CATALOG_VERSION", "ATTACK_CLASSES", "make_attack",
+           "standard_attack_suite"]
+
+#: Version of the canned attack campaign.  Bump whenever the suite's
+#: composition, timing, or any attack generator's emitted traffic changes:
+#: it is folded into the evaluation result-cache key, so stale cached
+#: measurements are invalidated automatically.
+CATALOG_VERSION = 1
 
 ATTACK_CLASSES: Dict[str, type] = {
     "port-scan": PortScan,

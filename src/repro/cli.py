@@ -11,8 +11,14 @@ Commands
     it as a binary trace.
 ``evaluate``
     Run the full product-field evaluation and print the weighted ranking.
+    ``--workers N`` shards the measurement battery across a process pool;
+    ``--cache-dir [DIR]`` memoizes completed work units on disk.  Both are
+    execution knobs only: the rendered output is bit-identical for any
+    worker count and cache state.
 ``sweep``
     Run a Figure-4 sensitivity sweep for one product.
+``clear-cache``
+    Delete the memoized evaluation work units (default ``.repro-cache/``).
 """
 
 from __future__ import annotations
@@ -66,6 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.add_argument("--products", nargs="+", choices=_PRODUCTS,
                         default=list(_PRODUCTS))
+    p_eval.add_argument("--workers", type=int, default=1,
+                        help="process-pool width (1=serial, 0=one per CPU); "
+                             "results are bit-identical for any value")
+    p_eval.add_argument("--cache-dir", nargs="?", const=".repro-cache",
+                        default=None, metavar="DIR",
+                        help="memoize completed work units on disk "
+                             "(default dir .repro-cache/ when the flag is "
+                             "given without a path)")
+
+    p_cc = sub.add_parser("clear-cache",
+                          help="delete memoized evaluation work units")
+    p_cc.add_argument("--cache-dir", default=".repro-cache", metavar="DIR")
 
     p_sweep = sub.add_parser("sweep", help="Figure-4 sensitivity sweep")
     p_sweep.add_argument("--product", choices=("nid", "realsecure", "manhunt"),
@@ -181,9 +199,11 @@ def _cmd_evaluate(args, out) -> int:
         options = EvaluationOptions(
             seed=args.seed, n_hosts=4, scenario_duration_s=40.0,
             train_duration_s=15.0,
-            throughput_rates_pps=(500, 4000, 32000), throughput_probe_s=0.4)
+            throughput_rates_pps=(500, 4000, 32000), throughput_probe_s=0.4,
+            workers=args.workers, cache_dir=args.cache_dir)
     else:
-        options = EvaluationOptions(seed=args.seed)
+        options = EvaluationOptions(seed=args.seed, workers=args.workers,
+                                    cache_dir=args.cache_dir)
     factories = [_product_factory(p) for p in args.products]
     field = evaluate_field(factories, _requirements(args.profile), options)
     print(scorecard_table(field.scorecard), file=out)
@@ -208,6 +228,15 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_clear_cache(args, out) -> int:
+    from .eval.parallel import clear_cache
+
+    removed = clear_cache(args.cache_dir)
+    print(f"removed {removed} cached work unit(s) from {args.cache_dir}",
+          file=out)
+    return 0
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "catalog": _cmd_catalog,
@@ -215,6 +244,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
+    "clear-cache": _cmd_clear_cache,
 }
 
 

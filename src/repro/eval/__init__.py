@@ -16,12 +16,26 @@ from .latency import (
 )
 from .observer import MeasurementBundle, fill_scorecard, score_measurements, score_open_source
 from .overhead import OverheadReport, logging_level_overhead, measure_host_overhead
+from .parallel import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    WorkUnit,
+    clear_cache,
+    evaluate_field_parallel,
+    evaluate_product_parallel,
+    last_cache_stats,
+)
 from .runner import (
     EvaluationOptions,
     FieldEvaluation,
     ProductEvaluation,
+    ScenarioMeasurement,
+    assemble_evaluation,
     evaluate_field,
     evaluate_product,
+    measure_rate,
+    measure_scenario,
 )
 from .testbed import EvalTestbed, cluster_scenario, ecommerce_scenario
 from .throughput import (
@@ -30,6 +44,7 @@ from .throughput import (
     make_load_trace,
     measure_throughput,
     probe_rate,
+    report_from_probes,
 )
 
 __all__ = [
@@ -55,8 +70,20 @@ __all__ = [
     "EvaluationOptions",
     "FieldEvaluation",
     "ProductEvaluation",
+    "ScenarioMeasurement",
+    "assemble_evaluation",
     "evaluate_field",
     "evaluate_product",
+    "measure_rate",
+    "measure_scenario",
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "ResultCache",
+    "WorkUnit",
+    "clear_cache",
+    "evaluate_field_parallel",
+    "evaluate_product_parallel",
+    "last_cache_stats",
     "EvalTestbed",
     "cluster_scenario",
     "ecommerce_scenario",
@@ -65,4 +92,5 @@ __all__ = [
     "make_load_trace",
     "measure_throughput",
     "probe_rate",
+    "report_from_probes",
 ]

@@ -26,7 +26,7 @@ from ..core.metric import ObservationMethod
 from ..core.scorecard import Scorecard
 from ..ids.policy import ResponseAction
 from ..ids.sensor import FailureMode
-from ..products.base import Deployment, ProductFacts
+from ..products.base import Deployment, DeploymentSnapshot, ProductFacts
 from .accuracy import SensitivitySweep
 from .ground_truth import AccuracyResult
 from .latency import LatencyReport, TimelinessReport
@@ -160,14 +160,20 @@ def score_open_source(facts: ProductFacts) -> Dict[str, Tuple[int, str]]:
 # ----------------------------------------------------------------------
 @dataclass
 class MeasurementBundle:
-    """Everything the laboratory battery measured for one product."""
+    """Everything the laboratory battery measured for one product.
+
+    ``deployment`` is the picklable :class:`DeploymentSnapshot` of the
+    system under test (a live :class:`Deployment` is accepted and
+    snapshotted on the fly for backward compatibility), which keeps the
+    whole bundle process-portable for the parallel harness.
+    """
 
     accuracy: AccuracyResult
     throughput: ThroughputReport
     latency: LatencyReport
     timeliness: TimelinessReport
     overhead: OverheadReport
-    deployment: Deployment
+    deployment: DeploymentSnapshot
     #: bytes of analyzer history per MB of scenario traffic
     storage_bytes_per_mb: float
     #: sources that actually emitted attack packets in the scenario
@@ -175,6 +181,10 @@ class MeasurementBundle:
     sweep: Optional[SensitivitySweep] = None
     #: wall-clock span of the accuracy scenario (drives operator-workload)
     scenario_duration_s: float = 70.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.deployment, Deployment):
+            self.deployment = self.deployment.snapshot()
 
 
 def _step(value: float, cuts: Tuple[float, ...], scores: Tuple[int, ...]) -> int:
@@ -195,6 +205,8 @@ def score_measurements(m: MeasurementBundle) -> Dict[str, Tuple[int, str, float]
 
     acc = m.accuracy
     dep = m.deployment
+    if isinstance(dep, Deployment):
+        dep = dep.snapshot()
 
     # --- accuracy (Figure 3 ratios) ---------------------------------
     miss_frac = (len(acc.missed) / len(acc.actual)) if acc.actual else 0.0
@@ -260,21 +272,20 @@ def score_measurements(m: MeasurementBundle) -> Dict[str, Tuple[int, str, float]
         m.storage_bytes_per_mb)
 
     # --- failure behaviour (Error Reporting and Recovery) ---------------
-    modes = {s.failure_mode for s in dep.sensors}
+    modes = dep.sensor_failure_modes
     if not modes:
         put("Error Reporting and Recovery", 1,
             "host agents only; failure behaviour unexercised "
             "(research-prototype default)", 1.0)
     else:
-        mode = next(iter(modes))
+        mode = modes[0]
         score = {FailureMode.RESTART: 4, FailureMode.REBOOT: 2,
                  FailureMode.HANG: 0}[mode]
         put("Error Reporting and Recovery", score,
             f"observed failure mode: {mode.value}", float(score))
 
     # --- response interactions ------------------------------------------
-    responses = dep.console.responses if dep.console else []
-    fired = {r.action for r in responses}
+    fired = set(dep.fired_actions)
 
     def interaction(metric: str, capability: bool,
                     action: ResponseAction) -> None:
@@ -287,8 +298,7 @@ def score_measurements(m: MeasurementBundle) -> Dict[str, Tuple[int, str, float]
             put(metric, 2, "capability present; not exercised by policy",
                 2.0)
 
-    caps = dep.console.capabilities if dep.console else {
-        "firewall": False, "router": False, "snmp": False, "honeypot": False}
+    caps = dep.capabilities
     interaction("Firewall Interaction", caps["firewall"],
                 ResponseAction.FIREWALL_BLOCK)
     interaction("Router Interaction", caps["router"] or caps["honeypot"],
@@ -296,8 +306,7 @@ def score_measurements(m: MeasurementBundle) -> Dict[str, Tuple[int, str, float]
     interaction("SNMP Interaction", caps["snmp"], ResponseAction.SNMP_TRAP)
 
     # --- analysis depth ---------------------------------------------------
-    correlating = any(getattr(a, "correlation", False)
-                      for a in dep.analyzers)
+    correlating = dep.correlating
     both_scopes = dep.facts.scope == "both"
     put("Analysis of Compromise",
         4 if (correlating and both_scopes) else (3 if correlating else 1),
@@ -312,20 +321,17 @@ def score_measurements(m: MeasurementBundle) -> Dict[str, Tuple[int, str, float]
         else "no intent analysis", 2.0 if correlating else 0.0)
 
     # --- filter effectiveness ---------------------------------------------
-    fw = dep.firewall
-    if fw is None and dep.router is None:
+    if not dep.has_filter_path:
         put("Effectiveness of Generated Filters", 0,
             "no filter-generation path", 0.0)
     else:
-        requests = list(fw.block_requests) if fw else []
-        if dep.router is not None:
-            requests += list(dep.router.block_requests)
+        requests = dep.filter_blocked_sources
         if not requests:
             put("Effectiveness of Generated Filters", 2,
                 "no filters generated during scenario", 2.0)
         else:
-            good = sum(1 for _, addr in requests
-                       if addr.value in m.attack_sources)
+            good = sum(1 for value in requests
+                       if value in m.attack_sources)
             frac = good / len(requests)
             put("Effectiveness of Generated Filters",
                 _step(-frac, (-0.999, -0.8, -0.5), (4, 3, 1, 0)),
@@ -349,14 +355,15 @@ def score_measurements(m: MeasurementBundle) -> Dict[str, Tuple[int, str, float]
         _ORDINAL["admin_effort"][dep.facts.admin_effort],
         f"admin effort: {dep.facts.admin_effort}",
         float(_ORDINAL["admin_effort"][dep.facts.admin_effort]))
-    channels = len(dep.monitor.channels)
+    channels = dep.notification_channels
     put("Notification: User Alerts",
         _step(-channels, (-3.0, -2.0, -1.0), (4, 2, 1, 0)),
         f"{channels} notification channel(s)", float(channels))
     put("Program Interaction",
-        2 if dep.console is not None else 0,
-        "console action dispatch" if dep.console else "no action hooks",
-        2.0 if dep.console else 0.0)
+        2 if dep.console_present else 0,
+        "console action dispatch" if dep.console_present
+        else "no action hooks",
+        2.0 if dep.console_present else 0.0)
     put("Evidence Collection",
         3 if dep.facts.session_recording else 1,
         f"session recording: {dep.facts.session_recording}",
@@ -367,7 +374,7 @@ def score_measurements(m: MeasurementBundle) -> Dict[str, Tuple[int, str, float]
         else "agents share monitored hosts", 2.0)
     put("Process Security",
         {FailureMode.RESTART: 3, FailureMode.REBOOT: 2,
-         FailureMode.HANG: 1}.get(next(iter(modes), None), 1),
+         FailureMode.HANG: 1}.get(modes[0] if modes else None, 1),
         "resilience of IDS processes under overload", 2.0)
     put("Visibility",
         4 if m.latency.induced_latency_s == 0 else 2,
@@ -405,13 +412,14 @@ def fill_scorecard(
         from ..core.extensions import score_human_factors
 
         dep = measurements.deployment
+        if isinstance(dep, Deployment):
+            dep = dep.snapshot()
         hours = max(measurements.scenario_duration_s / 3600.0, 1e-9)
-        rate = len(dep.monitor.notifications) / hours
+        rate = dep.notifications_total / hours
         alerts = max(measurements.accuracy.alerts_total, 1)
         false_fraction = min(
             measurements.accuracy.false_alarms / alerts, 1.0)
-        correlating = any(getattr(a, "correlation", False)
-                          for a in dep.analyzers)
+        correlating = dep.correlating
         for metric, (score, evidence) in score_human_factors(
                 rate, facts, correlating, false_fraction).items():
             m = scorecard.catalog.get(metric)

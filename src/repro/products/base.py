@@ -21,21 +21,22 @@ Two artifacts per product:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..ids.console import ManagementConsole
 from ..ids.host import HostAgent
 from ..ids.monitor import Monitor
 from ..ids.pipeline import IdsPipeline
+from ..ids.policy import ResponseAction
 from ..ids.response import Firewall, Honeypot, RouterInterface, SnmpTrapReceiver
-from ..ids.sensor import Sensor
+from ..ids.sensor import FailureMode, Sensor
 from ..net.packet import Packet
 from ..net.topology import LanTestbed
 from ..net.trace import Trace
 from ..sim.engine import Engine
 
-__all__ = ["ProductFacts", "Deployment", "Product"]
+__all__ = ["ProductFacts", "Deployment", "DeploymentSnapshot", "Product"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,73 @@ class ProductFacts:
     @property
     def network_based_fraction(self) -> float:
         return 1.0 - self.host_based_fraction
+
+
+@dataclass(frozen=True)
+class DeploymentSnapshot:
+    """Process-portable summary of a :class:`Deployment` after a run.
+
+    A live deployment holds the simulation engine, rule closures, and the
+    full component graph, none of which pickle.  The snapshot captures
+    exactly the state the scoring layer (``repro.eval.observer``) reads, in
+    plain-data form, so measurement work units can cross process boundaries
+    and be memoized on disk.  Collections are stored sorted so two
+    snapshots of equivalent runs compare (and serialize) identically
+    regardless of in-process set ordering.
+    """
+
+    facts: ProductFacts
+    inline_latency_s: float
+    #: distinct sensor failure modes, sorted by enum value
+    sensor_failure_modes: Tuple[FailureMode, ...]
+    console_present: bool
+    #: interaction channels ("firewall"/"router"/"snmp"/"honeypot")
+    capabilities: Dict[str, bool]
+    #: distinct automated response actions fired, sorted by enum value
+    fired_actions: Tuple[ResponseAction, ...]
+    #: any analyzer performs secondary (correlation) analysis
+    correlating: bool
+    notification_channels: int
+    notifications_total: int
+    #: a firewall or router is present to receive generated filters
+    has_filter_path: bool
+    #: blocked source addresses (int values), firewall requests then router
+    filter_blocked_sources: Tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        return self.facts.name
+
+    @classmethod
+    def of(cls, dep: "Deployment") -> "DeploymentSnapshot":
+        """Snapshot a live deployment (typically right after a scenario)."""
+        responses = dep.console.responses if dep.console else []
+        capabilities = dict(dep.console.capabilities) if dep.console else {
+            "firewall": False, "router": False, "snmp": False,
+            "honeypot": False}
+        blocked: List[int] = []
+        if dep.firewall is not None:
+            blocked += [addr.value for _, addr in dep.firewall.block_requests]
+        if dep.router is not None:
+            blocked += [addr.value for _, addr in dep.router.block_requests]
+        return cls(
+            facts=dep.facts,
+            inline_latency_s=dep.inline_latency_s,
+            sensor_failure_modes=tuple(sorted(
+                {s.failure_mode for s in dep.sensors},
+                key=lambda m: m.value)),
+            console_present=dep.console is not None,
+            capabilities=capabilities,
+            fired_actions=tuple(sorted({r.action for r in responses},
+                                       key=lambda a: a.value)),
+            correlating=any(getattr(a, "correlation", False)
+                            for a in dep.analyzers),
+            notification_channels=len(dep.monitor.channels),
+            notifications_total=len(dep.monitor.notifications),
+            has_filter_path=(dep.firewall is not None
+                             or dep.router is not None),
+            filter_blocked_sources=tuple(blocked),
+        )
 
 
 class Deployment:
@@ -188,6 +256,10 @@ class Deployment:
     @property
     def crash_count(self) -> int:
         return self.pipeline.crash_count if self.pipeline else 0
+
+    def snapshot(self) -> DeploymentSnapshot:
+        """Picklable summary of everything the scoring layer reads."""
+        return DeploymentSnapshot.of(self)
 
     def host_cpu_impact(self) -> float:
         """Average fraction of monitored-host CPU consumed by the agents."""

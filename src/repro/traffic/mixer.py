@@ -114,6 +114,17 @@ class ScenarioBuilder:
         for i, profile in enumerate(self._backgrounds):
             rng = self._rng.stream(f"background.{i}.{profile.name}")
             traces.append(profile.generate(self.duration_s, rng))
+        # Renumber attack ids scenario-locally (first portscan added is
+        # always "portscan-1", ...).  The instance-counter default id is
+        # process-global, which would make otherwise-identical scenarios
+        # built in different processes (or after unrelated scenarios in the
+        # same process) label their ground truth differently -- breaking
+        # the bit-identical guarantee of the parallel/cached harness.
+        tag_counts: dict = {}
+        for _, attack in self._attacks:
+            tag = type(attack).__name__.lower()
+            tag_counts[tag] = tag_counts.get(tag, 0) + 1
+            attack.attack_id = f"{tag}-{tag_counts[tag]}"
         records: List[AttackRecord] = []
         for j, (start, attack) in enumerate(self._attacks):
             rng = self._rng.stream(f"attack.{j}.{type(attack).__name__}")

@@ -1,0 +1,102 @@
+"""Golden regression tests for the paper's rendered artifacts.
+
+Every table and figure is re-rendered from a small deterministic
+configuration and compared byte-for-byte against a checked-in snapshot
+under ``tests/report/golden/``.  Any drift in scoring, simulation, or
+layout shows up as a readable diff here instead of a silent change in the
+reproduced paper output.
+
+To bless intentional changes, regenerate the snapshots::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/report/test_golden_outputs.py
+
+then review and commit the diff under ``tests/report/golden/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.profiles import realtime_cluster_requirements
+from repro.core.report import format_weighted_results
+from repro.eval.accuracy import sensitivity_sweep
+from repro.eval.runner import EvaluationOptions, evaluate_field
+from repro.products import ManhuntProduct, NidProduct
+from repro.report.figures import (
+    figure3_error_ratios,
+    figure4_error_curves,
+    figure5_weighted_scores,
+    figure6_weight_mapping,
+)
+from repro.report.tables import scorecard_table, table1, table2, table3
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+UPDATE = bool(os.environ.get("REPRO_UPDATE_GOLDENS"))
+
+OPTIONS = EvaluationOptions(seed=0, n_hosts=3, scenario_duration_s=10.0,
+                            train_duration_s=4.0,
+                            throughput_rates_pps=(500, 1200),
+                            throughput_probe_s=0.2)
+
+
+def check(name: str, text: str) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if UPDATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        f"REPRO_UPDATE_GOLDENS=1")
+    expected = path.read_text(encoding="utf-8")
+    assert text == expected, f"{name} drifted from its golden snapshot"
+
+
+@pytest.fixture(scope="module")
+def field():
+    return evaluate_field([NidProduct, ManhuntProduct],
+                          realtime_cluster_requirements(), OPTIONS)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sensitivity_sweep(
+        lambda s: ManhuntProduct(sensitivity=s), "sim-manhunt",
+        sensitivities=(0.2, 0.5, 0.8), seed=0, duration_s=12.0, n_hosts=3)
+
+
+class TestGoldenTables:
+    def test_table1(self):
+        check("table1", table1())
+
+    def test_table2(self):
+        check("table2", table2())
+
+    def test_table3(self):
+        check("table3", table3())
+
+    def test_scorecard(self, field):
+        check("scorecard", scorecard_table(field.scorecard))
+
+    def test_weighted_results(self, field):
+        check("weighted_results", format_weighted_results(field.results))
+
+
+class TestGoldenFigures:
+    def test_figure3(self, field):
+        check("figure3",
+              figure3_error_ratios(
+                  field.evaluations["sim-manhunt"].accuracy))
+
+    def test_figure4(self, sweep):
+        check("figure4", figure4_error_curves(sweep))
+
+    def test_figure5(self, field):
+        check("figure5",
+              figure5_weighted_scores(field.results, field.weights))
+
+    def test_figure6(self, field):
+        check("figure6",
+              figure6_weight_mapping(realtime_cluster_requirements(),
+                                     field.weights))
