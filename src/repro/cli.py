@@ -72,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.add_argument("--products", nargs="+", choices=_PRODUCTS,
                         default=list(_PRODUCTS))
+    p_eval.add_argument("--engine", choices=("indexed", "linear"),
+                        default="indexed",
+                        help="signature matching kernel (results are "
+                             "identical; linear is the reference path)")
     p_eval.add_argument("--workers", type=int, default=1,
                         help="process-pool width (1=serial, 0=one per CPU); "
                              "results are bit-identical for any value")
@@ -92,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of sensitivity points")
     p_sweep.add_argument("--duration", type=float, default=50.0)
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--engine", choices=("indexed", "linear"),
+                         default="indexed",
+                         help="signature matching kernel (results are "
+                              "identical; linear is the reference path)")
     return parser
 
 
@@ -200,10 +208,12 @@ def _cmd_evaluate(args, out) -> int:
             seed=args.seed, n_hosts=4, scenario_duration_s=40.0,
             train_duration_s=15.0,
             throughput_rates_pps=(500, 4000, 32000), throughput_probe_s=0.4,
-            workers=args.workers, cache_dir=args.cache_dir)
+            workers=args.workers, cache_dir=args.cache_dir,
+            engine=args.engine)
     else:
         options = EvaluationOptions(seed=args.seed, workers=args.workers,
-                                    cache_dir=args.cache_dir)
+                                    cache_dir=args.cache_dir,
+                                    engine=args.engine)
     factories = [_product_factory(p) for p in args.products]
     field = evaluate_field(factories, _requirements(args.profile), options)
     print(scorecard_table(field.scorecard), file=out)
@@ -216,14 +226,16 @@ def _cmd_evaluate(args, out) -> int:
 
 def _cmd_sweep(args, out) -> int:
     from .eval.accuracy import sensitivity_sweep
+    from .ids.signature import use_engine
     from .report.figures import figure4_error_curves
 
     factory_cls = _product_factory(args.product)
     points = [i / max(args.points - 1, 1) for i in range(args.points)]
     points = [max(p, 0.05) for p in points]
-    sweep = sensitivity_sweep(
-        lambda s: factory_cls(sensitivity=s), f"sim-{args.product}",
-        tuple(points), seed=args.seed, duration_s=args.duration)
+    with use_engine(args.engine):
+        sweep = sensitivity_sweep(
+            lambda s: factory_cls(sensitivity=s), f"sim-{args.product}",
+            tuple(points), seed=args.seed, duration_s=args.duration)
     print(figure4_error_curves(sweep), file=out)
     return 0
 

@@ -112,6 +112,10 @@ def _options_token(options: EvaluationOptions) -> Tuple:
         options.throughput_probe_s,
         options.payload_mode,
         options.profile,
+        # the matching kernel produces identical results either way, but
+        # kernel A/B comparisons must never read each other's cache
+        # (appended last: ``unit_key`` slices this tuple by position)
+        options.engine,
     )
 
 

@@ -32,6 +32,7 @@ from ..core.requirements import RequirementSet
 from ..core.scorecard import Scorecard
 from ..core.scoring import WeightedResult, rank_products, weighted_scores
 from ..core.weighting import derive_weights
+from ..ids.signature import use_engine
 from ..products.base import DeploymentSnapshot, Product
 from .ground_truth import AccuracyResult
 from .latency import (
@@ -78,6 +79,11 @@ class EvaluationOptions:
     throughput_probe_s: float = 1.0
     payload_mode: str = "http"
     profile: str = "cluster"
+    #: signature matching kernel ("indexed" | "linear"); measurement-
+    #: relevant only in execution time -- both kernels produce identical
+    #: matches -- but part of the cache key so kernel A/B runs never
+    #: share cached results
+    engine: str = "indexed"
     #: process-pool width; 1 = serial in-process, 0 = one per CPU
     workers: int = 1
     #: on-disk result cache directory; None disables memoization
@@ -139,6 +145,12 @@ def measure_scenario(
     """Run the accuracy scenario and every same-run measurement."""
     opts = options or EvaluationOptions()
 
+    with use_engine(opts.engine):
+        return _measure_scenario(factory, opts)
+
+
+def _measure_scenario(factory: ProductFactory,
+                      opts: EvaluationOptions) -> ScenarioMeasurement:
     testbed = EvalTestbed(factory(), n_hosts=opts.n_hosts, seed=opts.seed,
                           train_duration_s=opts.train_duration_s,
                           profile=opts.profile)
@@ -177,9 +189,10 @@ def measure_rate(
 ) -> LoadProbe:
     """Offer one load level to a fresh deployment (one throughput unit)."""
     opts = options or EvaluationOptions()
-    return probe_rate(factory(), float(rate_pps),
-                      duration_s=opts.throughput_probe_s,
-                      payload_mode=opts.payload_mode, seed=opts.seed)
+    with use_engine(opts.engine):
+        return probe_rate(factory(), float(rate_pps),
+                          duration_s=opts.throughput_probe_s,
+                          payload_mode=opts.payload_mode, seed=opts.seed)
 
 
 def assemble_evaluation(

@@ -32,13 +32,19 @@ from .sensor import (
     Sensor,
     SignatureDetector,
 )
+from .multipattern import AhoCorasick, MultiPatternMatcher
 from .signature import (
+    DEFAULT_ENGINE,
+    ENGINE_KINDS,
     HeaderRule,
     PayloadPatternRule,
+    RuleMatch,
     SignatureEngine,
     SignatureRule,
+    StreamPatternRule,
     ThresholdRule,
     default_ruleset,
+    use_engine,
 )
 
 __all__ = [
@@ -80,10 +86,17 @@ __all__ = [
     "FailureMode",
     "Sensor",
     "SignatureDetector",
+    "AhoCorasick",
+    "DEFAULT_ENGINE",
+    "ENGINE_KINDS",
     "HeaderRule",
+    "MultiPatternMatcher",
     "PayloadPatternRule",
+    "RuleMatch",
     "SignatureEngine",
     "SignatureRule",
+    "StreamPatternRule",
     "ThresholdRule",
     "default_ruleset",
+    "use_engine",
 ]

@@ -80,11 +80,17 @@ class SignatureDetector:
 
     def __init__(self, engine: Optional[SignatureEngine] = None,
                  sensitivity: float = 0.5,
-                 payload_inspection: bool = True) -> None:
+                 payload_inspection: bool = True,
+                 engine_kind: Optional[str] = None) -> None:
         if engine is None:
             from .signature import default_ruleset
             engine = SignatureEngine(default_ruleset(payload_inspection),
-                                     sensitivity=sensitivity)
+                                     sensitivity=sensitivity,
+                                     engine=engine_kind)
+        elif engine_kind is not None and engine.engine_kind != engine_kind:
+            raise ConfigurationError(
+                f"engine was built with kind {engine.engine_kind!r}, "
+                f"conflicting with engine_kind={engine_kind!r}")
         self.engine = engine
         self.engine.sensitivity = sensitivity
 
@@ -255,11 +261,11 @@ class Sensor(Component):
                     and self._drop_meter.rate(now, 1.0) >= self.lethal_drop_rate):
                 self._crash(now)
             return
-        cost_s = self.packet_cost_ops(pkt) / self.ops_rate
+        cost_ops = self.packet_cost_ops(pkt)
         start = max(now, self._busy_until)
-        finish = start + cost_s
+        finish = start + cost_ops / self.ops_rate
         self._busy_until = finish
-        self.busy_ops += self.packet_cost_ops(pkt)
+        self.busy_ops += cost_ops
         self.engine.schedule_at(finish, self._complete, pkt, now)
 
     def _complete(self, pkt: Packet, arrived: float) -> None:

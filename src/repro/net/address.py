@@ -26,17 +26,21 @@ class IPv4Address:
     '10.0.0.1'
     """
 
-    __slots__ = ("_value",)
+    # ``value`` is a plain slot, not a property: address ints are read in
+    # per-packet rule lambdas, where a property's python-level getter call
+    # is measurable.  Immutability is by convention (nothing assigns to it
+    # after construction).
+    __slots__ = ("value",)
 
     def __init__(self, value: "int | str | IPv4Address") -> None:
         if isinstance(value, IPv4Address):
-            self._value = value._value
+            self.value = value.value
         elif isinstance(value, int):
             if not 0 <= value <= 0xFFFFFFFF:
                 raise AddressError(f"address integer out of range: {value!r}")
-            self._value = value
+            self.value = value
         elif isinstance(value, str):
-            self._value = self._parse(value)
+            self.value = self._parse(value)
         else:
             raise AddressError(f"cannot build address from {value!r}")
 
@@ -55,12 +59,8 @@ class IPv4Address:
             value = (value << 8) | octet
         return value
 
-    @property
-    def value(self) -> int:
-        return self._value
-
     def __str__(self) -> str:
-        v = self._value
+        v = self.value
         return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
 
     def __repr__(self) -> str:
@@ -68,17 +68,17 @@ class IPv4Address:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, IPv4Address):
-            return self._value == other._value
+            return self.value == other.value
         return NotImplemented
 
     def __lt__(self, other: "IPv4Address") -> bool:
-        return self._value < other._value
+        return self.value < other.value
 
     def __hash__(self) -> int:
-        return hash(self._value)
+        return hash(self.value)
 
     def __add__(self, offset: int) -> "IPv4Address":
-        return IPv4Address(self._value + int(offset))
+        return IPv4Address(self.value + int(offset))
 
 
 class Subnet:

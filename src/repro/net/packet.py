@@ -19,7 +19,8 @@ from typing import Optional
 from ..errors import NetworkError
 from .address import IPv4Address
 
-__all__ = ["Protocol", "TcpFlags", "Packet", "ETHERNET_HEADER", "IP_HEADER"]
+__all__ = ["Protocol", "TcpFlags", "Packet", "PROTO_IDS",
+           "ETHERNET_HEADER", "IP_HEADER"]
 
 ETHERNET_HEADER = 14
 IP_HEADER = 20
@@ -40,6 +41,12 @@ class Protocol(enum.Enum):
     @property
     def header_size(self) -> int:
         return _PROTO_HEADER[self.value]
+
+
+#: Small-int protocol ids.  ``enum.Enum.__hash__`` is a python-level call
+#: (it hashes the member name), too slow for per-packet dispatch keys;
+#: packets carry the int mirror in ``Packet.proto_id``.
+PROTO_IDS = {proto: index for index, proto in enumerate(Protocol)}
 
 
 class TcpFlags(enum.IntFlag):
@@ -96,7 +103,9 @@ class Packet:
         "sport",
         "dport",
         "proto",
+        "proto_id",
         "flags",
+        "flag_bits",
         "seq",
         "ack",
         "payload",
@@ -128,7 +137,11 @@ class Packet:
         self.sport = int(sport)
         self.dport = int(dport)
         self.proto = proto
+        self.proto_id = PROTO_IDS[proto]
         self.flags = flags
+        # plain-int mirror of ``flags``: IntFlag operations construct new
+        # members per call, too slow for per-packet rule dispatch
+        self.flag_bits = int(flags)
         self.seq = int(seq)
         self.ack = int(ack)
         self.payload = payload
@@ -157,7 +170,8 @@ class Packet:
         return self.attack_id is None
 
     def has_flag(self, flag: TcpFlags) -> bool:
-        return bool(self.flags & flag)
+        # int & IntFlag yields a plain int: no enum member construction
+        return bool(self.flag_bits & flag)
 
     def five_tuple(self) -> tuple:
         return (self.src, self.sport, self.dst, self.dport, self.proto)

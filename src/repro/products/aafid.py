@@ -11,7 +11,7 @@ robustness.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..errors import ConfigurationError
 from ..ids.analyzer import Analyzer
@@ -60,8 +60,13 @@ class AafidProduct(Product):
         trend_analysis=False,
     )
 
-    def __init__(self, logging_level: LoggingLevel = LoggingLevel.C2) -> None:
+    def __init__(self, logging_level: LoggingLevel = LoggingLevel.C2,
+                 engine: Optional[str] = None) -> None:
         self.logging_level = logging_level
+        # ``engine`` (the signature-kernel knob) is accepted for a uniform
+        # product constructor signature; AAFID is host-based and runs no
+        # signature engine
+        del engine
 
     def deploy(self, engine: Engine, testbed: LanTestbed) -> Deployment:
         if not testbed.hosts:

@@ -10,6 +10,8 @@ positive ratio and an in-line balancer latency.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..ids.analyzer import Analyzer
 from ..ids.console import ManagementConsole
 from ..ids.loadbalancer import DynamicBalancer
@@ -60,9 +62,14 @@ class ManhuntProduct(Product):
         trend_analysis=True,
     )
 
-    def __init__(self, sensitivity: float = 0.5, n_sensors: int = 4) -> None:
+    def __init__(self, sensitivity: float = 0.5, n_sensors: int = 4,
+                 engine: Optional[str] = None) -> None:
         self.sensitivity = sensitivity
         self.n_sensors = n_sensors
+        # ``engine`` (the signature-kernel knob) is accepted for a uniform
+        # product constructor signature; ManHunt's sensors are anomaly
+        # detectors, so the knob has nothing to select
+        del engine
 
     def deploy(self, engine: Engine, testbed: LanTestbed) -> Deployment:
         sensors = [

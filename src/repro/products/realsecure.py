@@ -8,6 +8,8 @@ SNMP response.  Service-restart failure behaviour.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..ids.analyzer import Analyzer
 from ..ids.console import ManagementConsole
 from ..ids.host import HostAgent, LoggingLevel
@@ -58,15 +60,20 @@ class RealSecureProduct(Product):
         trend_analysis=True,
     )
 
-    def __init__(self, sensitivity: float = 0.5, n_sensors: int = 2) -> None:
+    def __init__(self, sensitivity: float = 0.5, n_sensors: int = 2,
+                 engine: Optional[str] = None) -> None:
         self.sensitivity = sensitivity
         self.n_sensors = n_sensors
+        #: signature matching kernel ("indexed" | "linear"; None = ambient
+        #: default), forwarded to every deployed SignatureDetector
+        self.engine_kind = engine
 
     def deploy(self, engine: Engine, testbed: LanTestbed) -> Deployment:
         sensors = [
             Sensor(
                 engine, f"rs-sensor{i}",
-                SignatureDetector(sensitivity=self.sensitivity),
+                SignatureDetector(sensitivity=self.sensitivity,
+                                  engine_kind=self.engine_kind),
                 ops_rate=45e6,
                 header_ops=600.0,
                 per_byte_ops=20.0,

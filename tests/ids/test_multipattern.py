@@ -1,0 +1,94 @@
+"""Tests for the shared multi-pattern matching kernel."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids.multipattern import AhoCorasick, MultiPatternMatcher
+
+
+def naive_ids(patterns, haystack):
+    return {i for i, p in enumerate(patterns) if p in haystack}
+
+
+class TestAhoCorasick:
+    def test_textbook_example(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        assert sorted(ac.search_ids(b"ushers")) == [0, 1, 3]
+
+    def test_suffix_pattern_reported_through_failure_chain(self):
+        # "cd" ends inside the longer match "abcd" and must still report
+        ac = AhoCorasick([b"abcd", b"cd"])
+        assert ac.search_ids(b"xxabcdxx") == {0, 1}
+
+    def test_overlapping_occurrences(self):
+        ac = AhoCorasick([b"aa"])
+        assert list(ac.iter_matches(b"aaaa")) == [(0, 2), (0, 3), (0, 4)]
+
+    def test_duplicate_patterns_all_reported(self):
+        ac = AhoCorasick([b"dup", b"dup"])
+        assert ac.search_ids(b"a dup b") == {0, 1}
+
+    def test_no_match_and_empty_haystack(self):
+        ac = AhoCorasick([b"nope"])
+        assert ac.search_ids(b"something else") == set()
+        assert ac.search_ids(b"") == set()
+
+    def test_iter_matches_end_offsets(self):
+        ac = AhoCorasick([b"ab", b"bc"])
+        assert list(ac.iter_matches(b"abc")) == [(0, 2), (1, 3)]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AhoCorasick([b"ok", b""])
+
+    def test_matches_naive_scan_on_random_data(self):
+        rng = random.Random(7)
+        alphabet = b"abcd"
+        patterns = [bytes(rng.choice(alphabet) for _ in range(rng.randint(1, 5)))
+                    for _ in range(24)]
+        ac = AhoCorasick(patterns)
+        for _ in range(200):
+            haystack = bytes(rng.choice(alphabet)
+                             for _ in range(rng.randint(0, 60)))
+            assert ac.search_ids(haystack) == naive_ids(patterns, haystack)
+
+
+class TestMultiPatternMatcher:
+    def test_scan_is_exact(self):
+        pats = [b"/bin/sh", b"\x90\x90", b"root"]
+        m = MultiPatternMatcher(pats)
+        got = m.scan(b"GET /bin/sh HTTP root")
+        assert got == {m.pattern_id(b"/bin/sh"), m.pattern_id(b"root")}
+
+    def test_dedup_preserves_first_seen_ids(self):
+        m = MultiPatternMatcher([b"a", b"b", b"a", b"c"])
+        assert len(m) == 3
+        assert m.pattern_id(b"a") == 0
+        assert m.pattern_id(b"b") == 1
+        assert m.pattern_id(b"c") == 2
+
+    def test_unknown_pattern_raises(self):
+        m = MultiPatternMatcher([b"a"])
+        with pytest.raises(KeyError):
+            m.pattern_id(b"zz")
+
+    def test_benign_payload_returns_shared_empty(self):
+        m = MultiPatternMatcher([b"ATTACK"])
+        assert m.scan(b"x" * 400) is m.scan(b"clean")  # the _EMPTY frozenset
+        assert m.scan(b"x" * 400) == frozenset()
+
+    def test_empty_registry_scans_to_empty(self):
+        m = MultiPatternMatcher([])
+        assert len(m) == 0
+        assert m.scan(b"anything") == frozenset()
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiPatternMatcher([b""])
+
+    def test_regex_metacharacters_matched_literally(self):
+        m = MultiPatternMatcher([b"a.c", b"[x]"])
+        assert m.scan(b"abc") == frozenset()       # "." is not a wildcard
+        assert m.scan(b"a.c [x]") == {0, 1}

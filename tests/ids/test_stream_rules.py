@@ -81,6 +81,36 @@ class TestStreamPatternRule:
             rule.match(seg(b"ab", 0, sport=1000 + i), float(i) * 0.001, 0.5)
         assert len(rule._streams) <= 5
 
+    def test_benign_tails_never_stored(self):
+        # no pattern can start with "a" or "b": the store gate must keep
+        # the flow table empty no matter how many flows are offered
+        rule = StreamPatternRule("r", [b"ZZ"], category="x", max_flows=4)
+        for i in range(10):
+            rule.match(seg(b"ab", 0, sport=1000 + i), float(i) * 0.001, 0.5)
+        assert len(rule._streams) == 0
+
+    def test_flow_cap_bounds_state_under_storable_churn(self):
+        # every payload ends with a pattern-leading byte, so every flow
+        # wants state; the cap and the eviction-queue compaction must keep
+        # both structures bounded through heavy churn
+        rule = StreamPatternRule("r", [b"ZZ"], category="x", max_flows=4)
+        for i in range(200):
+            rule.match(seg(b"aZ", 0, sport=1000 + i), float(i) * 0.001, 0.5)
+            assert len(rule._streams) <= 4
+            # lazy dead keys are compacted at 2x the cap, never beyond
+            assert len(rule._order) < 2 * 4
+        # survivors are the most recent flows: the newest tail still seams
+        hit = rule.match(seg(b"Z...", 2, sport=1000 + 199), 0.2, 0.5)
+        assert hit is not None
+
+    def test_eviction_drops_oldest_flow_first(self):
+        rule = StreamPatternRule("r", [b"ZZ"], category="x", max_flows=2)
+        for i in range(3):  # third insert evicts the first flow
+            assert rule.match(seg(b"aZ", 0, sport=7000 + i),
+                              float(i) * 0.001, 0.5) is None
+        assert rule.match(seg(b"Z", 2, sport=7000), 0.01, 0.5) is None
+        assert rule.match(seg(b"Z", 2, sport=7002), 0.01, 0.5) is not None
+
     def test_reset_clears_state(self, rule):
         rule.match(seg(b"EVILM", 0), 0.0, 0.5)
         rule.reset()

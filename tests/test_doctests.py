@@ -4,6 +4,7 @@ import doctest
 
 import pytest
 
+import repro.ids.multipattern
 import repro.net.address
 import repro.sim.engine
 import repro.sim.process
@@ -15,6 +16,7 @@ MODULES = [
     repro.sim.process,
     repro.sim.rng,
     repro.net.address,
+    repro.ids.multipattern,
     repro.traffic.mixer,
 ]
 
