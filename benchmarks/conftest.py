@@ -10,10 +10,13 @@ run for EXPERIMENTS.md.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 
 import pytest
 
 from repro.core.profiles import realtime_cluster_requirements
+from repro.eval.corpus import corpus_stats, use_corpus
 from repro.eval.runner import EvaluationOptions, evaluate_field
 from repro.products import (
     AafidProduct,
@@ -42,9 +45,28 @@ PRODUCT_FACTORIES = (NidProduct, RealSecureProduct, ManhuntProduct,
 
 @pytest.fixture(scope="session")
 def field_eval():
-    """The full section-3.2 evaluation, shared across benches."""
-    return evaluate_field(list(PRODUCT_FACTORIES),
-                          realtime_cluster_requirements(), E1_OPTIONS)
+    """The full section-3.2 evaluation, shared across benches.
+
+    Runs under an ambient trace corpus so the four products share one
+    generation of every scenario/warmup/load trace; the corpus hit/miss
+    counters are persisted to ``out/trace_corpus.txt`` alongside the
+    other artifacts.
+    """
+    root = tempfile.mkdtemp(prefix="bench-trace-corpus-")
+    before = corpus_stats().as_tuple()
+    try:
+        with use_corpus(os.path.join(root, "traces")):
+            result = evaluate_field(list(PRODUCT_FACTORIES),
+                                    realtime_cluster_requirements(),
+                                    E1_OPTIONS)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    hits, misses, stores = (a - b for a, b in
+                            zip(corpus_stats().as_tuple(), before))
+    emit("trace_corpus",
+         f"trace corpus (E1 field evaluation, {len(PRODUCT_FACTORIES)} "
+         f"products): {hits} hit(s), {misses} miss(es), {stores} store(s)")
+    return result
 
 
 def emit(name: str, text: str) -> str:

@@ -76,17 +76,23 @@ def build_parser() -> argparse.ArgumentParser:
                         default="indexed",
                         help="signature matching kernel (results are "
                              "identical; linear is the reference path)")
+    p_eval.add_argument("--anomaly-path", choices=("fast", "baseline"),
+                        default="fast",
+                        help="anomaly scoring path (scores are identical; "
+                             "baseline is the reference path)")
     p_eval.add_argument("--workers", type=int, default=1,
                         help="process-pool width (1=serial, 0=one per CPU); "
                              "results are bit-identical for any value")
     p_eval.add_argument("--cache-dir", nargs="?", const=".repro-cache",
                         default=None, metavar="DIR",
-                        help="memoize completed work units on disk "
+                        help="memoize completed work units on disk and "
+                             "share generated traces via DIR/traces/ "
                              "(default dir .repro-cache/ when the flag is "
                              "given without a path)")
 
     p_cc = sub.add_parser("clear-cache",
-                          help="delete memoized evaluation work units")
+                          help="delete memoized evaluation work units and "
+                               "the shared trace corpus")
     p_cc.add_argument("--cache-dir", default=".repro-cache", metavar="DIR")
 
     p_sweep = sub.add_parser("sweep", help="Figure-4 sensitivity sweep")
@@ -100,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="indexed",
                          help="signature matching kernel (results are "
                               "identical; linear is the reference path)")
+    p_sweep.add_argument("--anomaly-path", choices=("fast", "baseline"),
+                         default="fast",
+                         help="anomaly scoring path (scores are identical; "
+                              "baseline is the reference path)")
     return parser
 
 
@@ -209,11 +219,12 @@ def _cmd_evaluate(args, out) -> int:
             train_duration_s=15.0,
             throughput_rates_pps=(500, 4000, 32000), throughput_probe_s=0.4,
             workers=args.workers, cache_dir=args.cache_dir,
-            engine=args.engine)
+            engine=args.engine, anomaly_path=args.anomaly_path)
     else:
         options = EvaluationOptions(seed=args.seed, workers=args.workers,
                                     cache_dir=args.cache_dir,
-                                    engine=args.engine)
+                                    engine=args.engine,
+                                    anomaly_path=args.anomaly_path)
     factories = [_product_factory(p) for p in args.products]
     field = evaluate_field(factories, _requirements(args.profile), options)
     print(scorecard_table(field.scorecard), file=out)
@@ -221,18 +232,30 @@ def _cmd_evaluate(args, out) -> int:
     print(format_weighted_results(field.results), file=out)
     print(f"\nranking ({args.profile}): {' > '.join(field.ranking())}",
           file=out)
+    if args.cache_dir is not None:
+        from .eval.parallel import last_cache_stats, last_corpus_stats
+
+        stats = last_cache_stats()
+        if stats is not None:
+            print(f"result cache: {stats.hits} hit(s), "
+                  f"{stats.misses} miss(es)", file=out)
+        corpus = last_corpus_stats()
+        if corpus is not None:
+            print(f"trace corpus: {corpus.hits} hit(s), "
+                  f"{corpus.misses} miss(es)", file=out)
     return 0
 
 
 def _cmd_sweep(args, out) -> int:
     from .eval.accuracy import sensitivity_sweep
+    from .ids.anomaly import use_anomaly_path
     from .ids.signature import use_engine
     from .report.figures import figure4_error_curves
 
     factory_cls = _product_factory(args.product)
     points = [i / max(args.points - 1, 1) for i in range(args.points)]
     points = [max(p, 0.05) for p in points]
-    with use_engine(args.engine):
+    with use_engine(args.engine), use_anomaly_path(args.anomaly_path):
         sweep = sensitivity_sweep(
             lambda s: factory_cls(sensitivity=s), f"sim-{args.product}",
             tuple(points), seed=args.seed, duration_s=args.duration)
@@ -244,8 +267,8 @@ def _cmd_clear_cache(args, out) -> int:
     from .eval.parallel import clear_cache
 
     removed = clear_cache(args.cache_dir)
-    print(f"removed {removed} cached work unit(s) from {args.cache_dir}",
-          file=out)
+    print(f"removed {removed} cached entr(ies) -- work units and corpus "
+          f"traces -- from {args.cache_dir}", file=out)
     return 0
 
 

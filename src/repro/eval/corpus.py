@@ -1,0 +1,271 @@
+"""Shared on-disk trace corpus for the evaluation battery.
+
+Every work unit of the battery starts by *generating* traffic: the benign
+warmup trace, the labeled accuracy scenario, and one load trace per probe
+rate.  Generation is deterministic given its parameters, yet the harness
+used to repeat it from scratch for every product and in every pool worker.
+This module memoizes those traces as ``.rtrc`` files under
+``<cache_dir>/traces/`` -- the paper's "canned data with known attack
+content", literally canned -- keyed by a content hash of the generation
+parameters (plus the package and attack-catalog versions, like the result
+cache).  Workers map the files read-only via the batched ``Trace.load``
+path; within one process the decoded objects are additionally shared
+in-memory, so a battery run touching the same scenario four times decodes
+it once.
+
+The corpus is *ambient*: :func:`use_corpus` activates a corpus root for a
+``with`` block, and the generation call sites
+(:meth:`repro.eval.testbed.EvalTestbed`, ``cluster_scenario``/
+``ecommerce_scenario``, ``probe_rate``) route through
+:func:`corpus_trace`/:func:`corpus_scenario`, which fall through to plain
+generation when no corpus is active.  Results are bit-identical either way:
+the trace format round-trips every field exactly (times are f64), packet
+``pid``s are diagnostic-only by contract, and every RNG stream is derived
+independently per name, so skipping a generation never shifts another
+stream.
+
+Treat corpus-returned traces as read-only; they may be shared across
+products within a process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from .. import __version__
+from ..attacks.catalog import CATALOG_VERSION
+from ..net.trace import Trace
+from ..traffic.mixer import Scenario
+
+__all__ = [
+    "CORPUS_SUBDIR",
+    "CorpusStats",
+    "TraceCorpus",
+    "use_corpus",
+    "active_corpus",
+    "corpus_trace",
+    "corpus_scenario",
+    "corpus_root",
+    "corpus_stats",
+    "clear_corpus",
+]
+
+#: Corpus directory under the harness cache dir (``.repro-cache/traces/``).
+CORPUS_SUBDIR = "traces"
+
+_CORPUS_FORMAT = 1  # bump to invalidate every corpus entry
+
+
+@dataclass
+class CorpusStats:
+    """Hit/miss/store counters (in-memory hits count as hits)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.hits, self.misses, self.stores)
+
+
+def _codec_exact(trace: Trace) -> bool:
+    """True when the trace round-trips the ``.rtrc`` codec bit-exactly.
+
+    The one lossy corner of the format is a materialized *empty* payload
+    (``b""`` decodes as ``None``); no generator produces one today, but a
+    trace containing one must bypass the corpus rather than change shape
+    between the cold and warm runs.
+    """
+    for _, pkt in trace:
+        if pkt.payload is not None and len(pkt.payload) == 0:
+            return False
+    return True
+
+
+class TraceCorpus:
+    """Content-hash-keyed trace store under ``root``.
+
+    Layout: ``<key>.rtrc`` holds the trace; scenarios add a ``<key>.meta.pkl``
+    sidecar with the picklable ground-truth metadata (name, duration, seed,
+    :class:`~repro.attacks.base.AttackRecord` list).  Writes are atomic
+    (temp file + rename); unreadable entries are misses to be regenerated,
+    never a crash -- the same contract as the result cache.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.stats = CorpusStats()
+        self._memory: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, kind: str, token: tuple) -> str:
+        payload = repr(("repro-corpus", _CORPUS_FORMAT, __version__,
+                        CATALOG_VERSION, kind, token))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _store_file(self, path: str, data: bytes) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    def trace(self, kind: str, token: tuple,
+              build: Callable[[], Trace]) -> Trace:
+        """Return the memoized trace for ``(kind, token)``, building and
+        storing it on a miss."""
+        key = self._key(kind, token)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached  # type: ignore[return-value]
+        path = os.path.join(self.root, f"{key}.rtrc")
+        try:
+            trace = Trace.load(path)
+        except Exception:
+            trace = None
+        if trace is not None:
+            self.stats.hits += 1
+            self._memory[key] = trace
+            return trace
+        self.stats.misses += 1
+        trace = build()
+        if _codec_exact(trace):
+            self._store_file(path, trace.to_bytes())
+            self.stats.stores += 1
+            self._memory[key] = trace
+        return trace
+
+    def scenario(self, kind: str, token: tuple,
+                 build: Callable[[], Scenario]) -> Scenario:
+        """Like :meth:`trace`, for a full ground-truth-labeled scenario."""
+        key = self._key(kind, token)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached  # type: ignore[return-value]
+        tpath = os.path.join(self.root, f"{key}.rtrc")
+        mpath = os.path.join(self.root, f"{key}.meta.pkl")
+        try:
+            with open(mpath, "rb") as fh:
+                meta = pickle.load(fh)
+            trace = Trace.load(tpath, name=meta["trace_name"])
+        except Exception:
+            meta = None
+            trace = None
+        if meta is not None and trace is not None:
+            self.stats.hits += 1
+            scenario = Scenario(
+                name=meta["name"], trace=trace, attacks=meta["attacks"],
+                duration_s=meta["duration_s"], seed=meta["seed"])
+            self._memory[key] = scenario
+            return scenario
+        self.stats.misses += 1
+        scenario = build()
+        if not _codec_exact(scenario.trace):
+            return scenario
+        meta_blob = pickle.dumps(
+            {"name": scenario.name, "trace_name": scenario.trace.name,
+             "attacks": scenario.attacks, "duration_s": scenario.duration_s,
+             "seed": scenario.seed},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        self._store_file(tpath, scenario.trace.to_bytes())
+        self._store_file(mpath, meta_blob)
+        self.stats.stores += 1
+        self._memory[key] = scenario
+        return scenario
+
+
+# ----------------------------------------------------------------------
+# ambient activation
+# ----------------------------------------------------------------------
+#: One corpus instance per root, so the in-memory object share survives
+#: across successive work units within a process (pool workers included).
+_CORPORA: Dict[str, TraceCorpus] = {}
+
+_ACTIVE: Optional[TraceCorpus] = None
+
+
+def _corpus_for(root: str) -> TraceCorpus:
+    corpus = _CORPORA.get(root)
+    if corpus is None:
+        corpus = _CORPORA[root] = TraceCorpus(root)
+    return corpus
+
+
+@contextmanager
+def use_corpus(root: Optional[str]) -> Iterator[None]:
+    """Activate the corpus at ``root`` for the block (``None`` disables)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = _corpus_for(root) if root is not None else None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+def active_corpus() -> Optional[TraceCorpus]:
+    return _ACTIVE
+
+
+def corpus_trace(kind: str, token: tuple,
+                 build: Callable[[], Trace]) -> Trace:
+    """Memoized trace generation; plain ``build()`` when no corpus is
+    active."""
+    if _ACTIVE is None:
+        return build()
+    return _ACTIVE.trace(kind, token, build)
+
+
+def corpus_scenario(kind: str, token: tuple,
+                    build: Callable[[], Scenario]) -> Scenario:
+    """Memoized scenario generation; plain ``build()`` when no corpus is
+    active."""
+    if _ACTIVE is None:
+        return build()
+    return _ACTIVE.scenario(kind, token, build)
+
+
+def corpus_root(cache_dir: Optional[str]) -> Optional[str]:
+    """The corpus directory for a harness cache dir (None passes through)."""
+    if cache_dir is None:
+        return None
+    return os.path.join(cache_dir, CORPUS_SUBDIR)
+
+
+def corpus_stats() -> CorpusStats:
+    """Aggregate counters across every corpus touched by this process."""
+    total = CorpusStats()
+    for corpus in _CORPORA.values():
+        total.hits += corpus.stats.hits
+        total.misses += corpus.stats.misses
+        total.stores += corpus.stats.stores
+    return total
+
+
+def clear_corpus(cache_dir: str) -> int:
+    """Delete every stored corpus entry; returns how many traces were
+    removed (sidecars don't count)."""
+    root = corpus_root(cache_dir)
+    if root is None or not os.path.isdir(root):
+        return 0
+    removed = 0
+    for name in os.listdir(root):
+        if name.endswith((".rtrc", ".meta.pkl", ".tmp")):
+            os.unlink(os.path.join(root, name))
+            if name.endswith(".rtrc"):
+                removed += 1
+    return removed

@@ -34,6 +34,7 @@ from ..attacks.catalog import CATALOG_VERSION
 from ..core.catalog import MetricCatalog
 from ..core.requirements import RequirementSet
 from ..products.base import Product
+from .corpus import CorpusStats, clear_corpus, corpus_stats
 from .runner import (
     EvaluationOptions,
     FieldEvaluation,
@@ -47,7 +48,7 @@ from .runner import (
 __all__ = ["DEFAULT_CACHE_DIR", "WorkUnit", "CacheStats", "ResultCache",
            "clear_cache", "plan_units", "run_units", "unit_key",
            "evaluate_product_parallel", "evaluate_field_parallel",
-           "last_cache_stats"]
+           "last_cache_stats", "last_corpus_stats"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -86,10 +87,20 @@ def plan_units(names: Sequence[str],
 
 def _execute_unit(factory: ProductFactory, unit: WorkUnit,
                   options: EvaluationOptions):
-    """Run one work unit (in a pool worker or in-line)."""
+    """Run one work unit (in a pool worker or in-line).
+
+    Returns ``(result, corpus_delta)`` where the delta is the
+    ``(hits, misses, stores)`` the unit added to this process's trace
+    corpus -- measured per unit so the parent can aggregate counters from
+    pool workers without sharing state.
+    """
+    before = corpus_stats().as_tuple()
     if unit.kind == "scenario":
-        return measure_scenario(factory, options)
-    return measure_rate(factory, unit.rate_pps, options)
+        result = measure_scenario(factory, options)
+    else:
+        result = measure_rate(factory, unit.rate_pps, options)
+    after = corpus_stats().as_tuple()
+    return result, tuple(a - b for a, b in zip(after, before))
 
 
 # ----------------------------------------------------------------------
@@ -112,10 +123,12 @@ def _options_token(options: EvaluationOptions) -> Tuple:
         options.throughput_probe_s,
         options.payload_mode,
         options.profile,
-        # the matching kernel produces identical results either way, but
-        # kernel A/B comparisons must never read each other's cache
+        # the matching kernel and the anomaly scoring path both produce
+        # identical results either way, but A/B comparisons must never
+        # read each other's cache
         # (appended last: ``unit_key`` slices this tuple by position)
         options.engine,
+        options.anomaly_path,
     )
 
 
@@ -190,10 +203,11 @@ class ResultCache:
 
 
 def clear_cache(cache_dir: str = DEFAULT_CACHE_DIR) -> int:
-    """Delete every cached unit result; returns how many were removed."""
+    """Delete every cached unit result *and* every stored corpus trace;
+    returns how many entries were removed."""
+    removed = clear_corpus(cache_dir)
     if not os.path.isdir(cache_dir):
-        return 0
-    removed = 0
+        return removed
     for name in os.listdir(cache_dir):
         if name.endswith((".pkl", ".tmp")):
             os.unlink(os.path.join(cache_dir, name))
@@ -204,10 +218,19 @@ def clear_cache(cache_dir: str = DEFAULT_CACHE_DIR) -> int:
 #: Stats of the most recent run_units() invocation (None before the first).
 _LAST_STATS: Optional[CacheStats] = None
 
+#: Trace-corpus counters aggregated over the most recent run_units() call.
+_LAST_CORPUS: Optional[CorpusStats] = None
+
 
 def last_cache_stats() -> Optional[CacheStats]:
     """Cache counters from the most recent harness invocation."""
     return _LAST_STATS
+
+
+def last_corpus_stats() -> Optional[CorpusStats]:
+    """Trace-corpus counters from the most recent harness invocation,
+    aggregated across executed units (pool workers included)."""
+    return _LAST_CORPUS
 
 
 # ----------------------------------------------------------------------
@@ -233,7 +256,7 @@ def run_units(
     execution).  The returned mapping is keyed by :class:`WorkUnit` in
     canonical order, independent of completion order.
     """
-    global _LAST_STATS
+    global _LAST_STATS, _LAST_CORPUS
     names = [factory().name for factory in factories]
     by_name = dict(zip(names, factories))
     units = plan_units(names, options)
@@ -255,6 +278,15 @@ def run_units(
                   if workers > 1 and _is_picklable(by_name[u.product])]
     inline_units = [u for u in pending if u not in pool_units]
 
+    corpus_totals = CorpusStats()
+
+    def _record(unit: WorkUnit, outcome) -> None:
+        result, delta = outcome
+        results[unit] = result
+        corpus_totals.hits += delta[0]
+        corpus_totals.misses += delta[1]
+        corpus_totals.stores += delta[2]
+
     if pool_units:
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(pool_units))) as pool:
@@ -263,9 +295,9 @@ def run_units(
                                   unit, options)
                 for unit in pool_units}
             for unit, future in futures.items():
-                results[unit] = future.result()
+                _record(unit, future.result())
     for unit in inline_units:
-        results[unit] = _execute_unit(by_name[unit.product], unit, options)
+        _record(unit, _execute_unit(by_name[unit.product], unit, options))
 
     if cache is not None:
         for unit in pending:
@@ -273,6 +305,7 @@ def run_units(
         _LAST_STATS = cache.stats
     else:
         _LAST_STATS = None
+    _LAST_CORPUS = corpus_totals
     # canonical order: by work-unit key, never by completion time
     return {unit: results[unit] for unit in sorted(results)}
 

@@ -24,6 +24,7 @@ producing bit-identical results by construction.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -32,8 +33,10 @@ from ..core.requirements import RequirementSet
 from ..core.scorecard import Scorecard
 from ..core.scoring import WeightedResult, rank_products, weighted_scores
 from ..core.weighting import derive_weights
+from ..ids.anomaly import use_anomaly_path
 from ..ids.signature import use_engine
 from ..products.base import DeploymentSnapshot, Product
+from .corpus import corpus_root, use_corpus
 from .ground_truth import AccuracyResult
 from .latency import (
     LatencyReport,
@@ -84,9 +87,13 @@ class EvaluationOptions:
     #: matches -- but part of the cache key so kernel A/B runs never
     #: share cached results
     engine: str = "indexed"
+    #: anomaly scoring path ("fast" | "baseline"); like ``engine``, both
+    #: paths score identically, but A/B runs get separate cache entries
+    anomaly_path: str = "fast"
     #: process-pool width; 1 = serial in-process, 0 = one per CPU
     workers: int = 1
-    #: on-disk result cache directory; None disables memoization
+    #: on-disk result cache directory; None disables memoization and the
+    #: shared trace corpus (``<cache_dir>/traces/``)
     cache_dir: Optional[str] = None
 
 
@@ -145,8 +152,21 @@ def measure_scenario(
     """Run the accuracy scenario and every same-run measurement."""
     opts = options or EvaluationOptions()
 
-    with use_engine(opts.engine):
+    with use_engine(opts.engine), use_anomaly_path(opts.anomaly_path), \
+            _unit_corpus(opts):
         return _measure_scenario(factory, opts)
+
+
+def _unit_corpus(opts: EvaluationOptions):
+    """The trace corpus context for one work unit.
+
+    Activated only when the harness cache is on; without a ``cache_dir``
+    this is a no-op context so an *ambient* corpus (e.g. one a benchmark
+    installed around the whole battery) stays in effect.
+    """
+    if opts.cache_dir is None:
+        return nullcontext()
+    return use_corpus(corpus_root(opts.cache_dir))
 
 
 def _measure_scenario(factory: ProductFactory,
@@ -189,7 +209,8 @@ def measure_rate(
 ) -> LoadProbe:
     """Offer one load level to a fresh deployment (one throughput unit)."""
     opts = options or EvaluationOptions()
-    with use_engine(opts.engine):
+    with use_engine(opts.engine), use_anomaly_path(opts.anomaly_path), \
+            _unit_corpus(opts):
         return probe_rate(factory(), float(rate_pps),
                           duration_s=opts.throughput_probe_s,
                           payload_mode=opts.payload_mode, seed=opts.seed)

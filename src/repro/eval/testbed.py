@@ -19,6 +19,7 @@ from ..sim.engine import Engine
 from ..sim.rng import RngRegistry
 from ..traffic.mixer import Scenario, ScenarioBuilder
 from ..traffic.profiles import ClusterProfile, EcommerceProfile
+from .corpus import corpus_scenario, corpus_trace
 from .ground_truth import AccuracyResult, score_alerts
 
 __all__ = ["EvalTestbed", "cluster_scenario", "ecommerce_scenario",
@@ -37,17 +38,25 @@ def cluster_scenario(
 ) -> Scenario:
     """The canonical distributed-real-time-cluster scenario: cluster
     background traffic plus the standard labeled attack campaign."""
-    builder = ScenarioBuilder("cluster-rt", duration_s=duration_s, seed=seed)
-    builder.add_background(ClusterProfile(node_addresses,
-                                          rate_scale=rate_scale))
-    suite = standard_attack_suite(
-        EXTERNAL_ATTACKER, node_addresses, include_dos=include_dos,
-        flood_rate_pps=flood_rate_pps)
-    # The canonical campaign is laid out over 70 s; compress the start
-    # offsets proportionally for shorter scenarios.
-    scale = min(duration_s / 70.0, 1.0)
-    builder.add_attacks([(start * scale, attack) for start, attack in suite])
-    return builder.build()
+
+    def build() -> Scenario:
+        builder = ScenarioBuilder("cluster-rt", duration_s=duration_s,
+                                  seed=seed)
+        builder.add_background(ClusterProfile(node_addresses,
+                                              rate_scale=rate_scale))
+        suite = standard_attack_suite(
+            EXTERNAL_ATTACKER, node_addresses, include_dos=include_dos,
+            flood_rate_pps=flood_rate_pps)
+        # The canonical campaign is laid out over 70 s; compress the start
+        # offsets proportionally for shorter scenarios.
+        scale = min(duration_s / 70.0, 1.0)
+        builder.add_attacks([(start * scale, attack)
+                             for start, attack in suite])
+        return builder.build()
+
+    token = (tuple(a.value for a in node_addresses), duration_s, seed,
+             rate_scale, include_dos, flood_rate_pps)
+    return corpus_scenario("scenario-cluster", token, build)
 
 
 def ecommerce_scenario(
@@ -59,13 +68,22 @@ def ecommerce_scenario(
     include_dos: bool = True,
 ) -> Scenario:
     """The e-commerce contrast scenario (web-shop background traffic)."""
-    builder = ScenarioBuilder("ecommerce", duration_s=duration_s, seed=seed)
-    builder.add_background(EcommerceProfile(server, rate_scale=rate_scale))
-    suite = standard_attack_suite(EXTERNAL_ATTACKER, lan_hosts,
-                                  include_dos=include_dos)
-    scale = min(duration_s / 70.0, 1.0)
-    builder.add_attacks([(start * scale, attack) for start, attack in suite])
-    return builder.build()
+
+    def build() -> Scenario:
+        builder = ScenarioBuilder("ecommerce", duration_s=duration_s,
+                                  seed=seed)
+        builder.add_background(EcommerceProfile(server,
+                                                rate_scale=rate_scale))
+        suite = standard_attack_suite(EXTERNAL_ATTACKER, lan_hosts,
+                                      include_dos=include_dos)
+        scale = min(duration_s / 70.0, 1.0)
+        builder.add_attacks([(start * scale, attack)
+                             for start, attack in suite])
+        return builder.build()
+
+    token = (server.value, tuple(a.value for a in lan_hosts), duration_s,
+             seed, rate_scale, include_dos)
+    return corpus_scenario("scenario-ecommerce", token, build)
 
 
 class EvalTestbed:
@@ -103,8 +121,13 @@ class EvalTestbed:
         self.node_addresses = [h.address for h in self.lan.hosts]
 
         if train_duration_s > 0:
-            warmup = self._background_trace(train_duration_s,
-                                            self._rng.stream("warmup"))
+            token = (self.profile,
+                     tuple(a.value for a in self.node_addresses),
+                     train_duration_s, self.seed, "warmup")
+            warmup = corpus_trace(
+                "warmup", token,
+                lambda: self._background_trace(train_duration_s,
+                                               self._rng.stream("warmup")))
             self.deployment.train_on(warmup)
         self.deployment.freeze()
 

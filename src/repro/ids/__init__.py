@@ -2,7 +2,12 @@
 
 from .alert import Alert, Detection, Notification, Severity
 from .analyzer import Analyzer
-from .anomaly import AnomalyEngine
+from .anomaly import (
+    ANOMALY_PATHS,
+    DEFAULT_ANOMALY_PATH,
+    AnomalyEngine,
+    use_anomaly_path,
+)
 from .component import Component, Subprocess, validate_wiring
 from .console import ManagementConsole, ResponseLog
 from .host import HostAgent, LoggingLevel
@@ -53,7 +58,10 @@ __all__ = [
     "Notification",
     "Severity",
     "Analyzer",
+    "ANOMALY_PATHS",
+    "DEFAULT_ANOMALY_PATH",
     "AnomalyEngine",
+    "use_anomaly_path",
     "Component",
     "Subprocess",
     "validate_wiring",

@@ -28,21 +28,161 @@ Each feature maps its deviation through a logistic into a suspicion score in
 [0, 1]; the packet's score is the max.  A detection fires when the score
 exceeds ``threshold(sensitivity) = 0.95 - 0.85 * sensitivity``: the
 continuous knob behind the Figure-4 error-rate curves.
+
+Scoring paths
+-------------
+Two implementations produce score-for-score identical output, selected the
+same way the signature kernel is (:data:`DEFAULT_ANOMALY_PATH`,
+:func:`use_anomaly_path`, or ``path=`` at construction):
+
+``"fast"`` (default)
+    Memoizes the payload-derived features (prefix entropy, application
+    token) on the packet itself so a battery that runs several detectors
+    over the same trace pays for them once; interns the ``(proto, port)``
+    service key as a small int; and prechecks each logistic feature against
+    a precomputed deviation cut so ``math.exp`` only runs for packets near
+    or above threshold.  The cut is found by bisection over the *same*
+    float expression the baseline evaluates and then widened by a guard
+    margin, so the final fire decision and every reported score come from
+    the identical arithmetic as the baseline path.
+
+``"baseline"``
+    The original per-call implementation; kept as the reference for the
+    differential test suite (``tests/ids/test_anomaly_fastpath.py``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+import os
+import re
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
-from ..net.packet import Packet, Protocol, TcpFlags
-from ..traffic.payload import shannon_entropy
+from ..net.packet import PROTO_IDS, Packet, Protocol, TcpFlags
+from ..traffic.payload import shannon_entropy, shannon_entropy_prefix
 from .alert import Severity
 
-__all__ = ["AnomalyEngine", "AnomalyScore"]
+__all__ = [
+    "AnomalyEngine",
+    "AnomalyScore",
+    "ANOMALY_PATHS",
+    "DEFAULT_ANOMALY_PATH",
+    "use_anomaly_path",
+]
 
 _ENTROPY_SAMPLE = 256  # bytes of payload fed to the entropy estimator
+
+#: The selectable anomaly scoring paths.
+ANOMALY_PATHS = ("fast", "baseline")
+
+
+def _check_anomaly_path(kind: str) -> str:
+    if kind not in ANOMALY_PATHS:
+        raise ConfigurationError(
+            f"unknown anomaly path {kind!r}; expected one of {ANOMALY_PATHS}")
+    return kind
+
+
+#: Path used when an engine is built without an explicit ``path=``.
+#: ``REPRO_ANOMALY_PATH`` overrides the default (used by the CI lane that
+#: forces the fast path on for the whole product test suite).
+DEFAULT_ANOMALY_PATH = _check_anomaly_path(
+    os.environ.get("REPRO_ANOMALY_PATH", "fast"))
+
+
+@contextmanager
+def use_anomaly_path(kind: str) -> Iterator[None]:
+    """Temporarily change the default anomaly scoring path.
+
+    The evaluation work units wrap themselves in this so one
+    ``EvaluationOptions.anomaly_path`` knob reaches every product
+    deployment, in-process and across pool workers alike.
+    """
+    global DEFAULT_ANOMALY_PATH
+    previous = DEFAULT_ANOMALY_PATH
+    DEFAULT_ANOMALY_PATH = _check_anomaly_path(kind)
+    try:
+        yield
+    finally:
+        DEFAULT_ANOMALY_PATH = previous
+
+
+_TCP_ID = PROTO_IDS[Protocol.TCP]
+_ICMP_ID = PROTO_IDS[Protocol.ICMP]
+_SYN_BIT = int(TcpFlags.SYN)
+_ACK_BIT = int(TcpFlags.ACK)
+
+_PRINTABLE_BYTES = bytes(range(32, 127))
+_ALPHA_RUN_RE = re.compile(rb"[a-z_]{4,}")
+
+
+def _token_fast(p: Optional[bytes]) -> Optional[bytes]:
+    """Value-identical reimplementation of :meth:`AnomalyEngine._token`.
+
+    ``bytes.translate`` counts the printable head, ``bytes.find`` locates
+    the first word boundary without splitting the whole payload, and a
+    precompiled regex finds the first >=4-byte lowercase/underscore run in
+    the ``p[6:32]`` window -- each provably returning the same bytes as the
+    baseline's per-byte Python loops (see the differential property test).
+    """
+    if p is None or len(p) < 4:
+        return None
+    head = p[:16]
+    printable = len(head) - len(head.translate(None, _PRINTABLE_BYTES))
+    if printable >= max(len(head) - 2, 4):  # text protocol
+        sp = p.find(b" ")
+        end = sp if sp >= 0 else len(p)
+        return p[: end if end < 12 else 12]
+    m = _ALPHA_RUN_RE.search(p, 6, 32)
+    run = m.group()[:12] if m is not None else b""
+    return p[:6] + b"|" + run
+
+
+#: Guard margin subtracted from bisected cuts.  Float bisection pins the
+#: crossover exactly when the composed expression is monotone; libm ``exp``
+#: is only faithfully rounded, so monotonicity could in principle wobble by
+#: an ulp near the cut.  The margin is ~1e6 ulps wide, and every packet at
+#: or above the guarded cut is re-decided by the exact baseline expression,
+#: so the precheck can only ever admit extra candidates, never drop one.
+_CUT_GUARD = 1e-9
+
+
+def _z_cut(midpoint: float, steepness: float, threshold: float) -> float:
+    """Conservative deviation precheck for ``_logistic(z, ...) > t``.
+
+    Returns a ``zc`` such that ``z < zc`` guarantees the score cannot clear
+    the threshold; callers evaluate the exact logistic for ``z >= zc``.
+    """
+    lo, hi = midpoint - 800.0, midpoint + 800.0  # logistic saturates inside
+    if _logistic(lo, midpoint, steepness) > threshold:
+        return lo - _CUT_GUARD
+    if not _logistic(hi, midpoint, steepness) > threshold:
+        return math.inf  # threshold >= the logistic ceiling: never fires
+    while True:
+        mid = (lo + hi) / 2.0
+        if not lo < mid < hi:  # lo/hi are adjacent floats: hi is the cut
+            return hi - _CUT_GUARD - _CUT_GUARD * abs(hi)
+        if _logistic(mid, midpoint, steepness) > threshold:
+            hi = mid
+        else:
+            lo = mid
+
+
+def _count_cut(fires, hi: int = 1 << 40) -> int:
+    """Smallest count in [1, hi] where the monotone ``fires`` predicate
+    holds, minus a one-count guard; ``hi + 1`` when it never fires."""
+    if not fires(hi):
+        return hi + 1
+    lo = 0  # fires(0) treated as False: counts start at 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if fires(mid):
+            hi = mid
+        else:
+            lo = mid
+    return max(1, hi - 1)
 
 
 def _logistic(z: float, midpoint: float, steepness: float = 1.0) -> float:
@@ -97,9 +237,13 @@ class AnomalyEngine:
     then :meth:`inspect` live packets.
     """
 
-    def __init__(self, sensitivity: float = 0.5, window_s: float = 5.0) -> None:
+    def __init__(self, sensitivity: float = 0.5, window_s: float = 5.0,
+                 path: Optional[str] = None) -> None:
         if window_s <= 0:
             raise ConfigurationError("window_s must be positive")
+        self.anomaly_path = _check_anomaly_path(
+            DEFAULT_ANOMALY_PATH if path is None else path)
+        self._fast = self.anomaly_path == "fast"
         self.sensitivity = sensitivity
         self.window_s = float(window_s)
         self.trained = False
@@ -116,6 +260,16 @@ class AnomalyEngine:
         self._train_bins: Dict[Tuple[int, int], int] = {}
         self._train_fanout: Dict[Tuple[int, int], Set[int]] = {}
 
+        # --- fast-path tables (built by freeze(); int service keys
+        # ``proto_id << 16 | server_port``) ---
+        self._services_ik: Set[int] = set()
+        self._entropy_ik: Dict[int, Tuple[float, float]] = {}
+        self._tokens_ik: Dict[int, Set[bytes]] = {}
+        self._icmp_params: Optional[Tuple[float, float]] = None
+        self._rate_den = 1.0
+        self._fan_den = 1
+        self._cuts: Optional[tuple] = None  # per-threshold precheck cuts
+
         # --- live state ---
         self._live_bins: Dict[int, list] = {}     # src -> [bin_idx, count]
         self._live_fanout: Dict[int, list] = {}   # src -> [win_start, set]
@@ -130,6 +284,7 @@ class AnomalyEngine:
         if not 0.0 <= value <= 1.0:
             raise ConfigurationError("sensitivity must be in [0, 1]")
         self._sensitivity = float(value)
+        self._cuts = None  # precheck cuts depend on the threshold
 
     @property
     def threshold(self) -> float:
@@ -189,9 +344,19 @@ class AnomalyEngine:
         self._services.add(key)
 
         if pkt.payload is not None:
-            h = shannon_entropy(pkt.payload[:_ENTROPY_SAMPLE])
+            if self._fast:
+                h = pkt._h256
+                if h is None:
+                    h = shannon_entropy_prefix(pkt.payload, _ENTROPY_SAMPLE)
+                    pkt._h256 = h
+                token = pkt._tok
+                if token is False:
+                    token = _token_fast(pkt.payload)
+                    pkt._tok = token
+            else:
+                h = shannon_entropy(pkt.payload[:_ENTROPY_SAMPLE])
+                token = self._token(pkt)
             self._entropy.setdefault(key, _ServiceStats()).add(h)
-            token = self._token(pkt)
             if token is not None:
                 self._tokens.setdefault(key, set()).add(token)
 
@@ -217,6 +382,60 @@ class AnomalyEngine:
         self._train_bins.clear()
         self._train_fanout.clear()
         self.trained = True
+        if self._fast:
+            self._build_fast_tables()
+
+    def _build_fast_tables(self) -> None:
+        """Intern service keys as ints and hoist per-packet constants.
+
+        ``(mean, std)`` pairs are the exact float values the baseline's
+        ``_ServiceStats`` properties would return per packet; hoisting them
+        out of the hot loop changes no arithmetic.
+        """
+        self._services_ik = {
+            (PROTO_IDS[proto] << 16) | port
+            for proto, port in self._services}
+        self._entropy_ik = {
+            (PROTO_IDS[proto] << 16) | port: (stats.mean, stats.std)
+            for (proto, port), stats in self._entropy.items()
+            if stats.n >= 8}
+        self._tokens_ik = {
+            (PROTO_IDS[proto] << 16) | port: tokens
+            for (proto, port), tokens in self._tokens.items()}
+        self._icmp_params = (
+            (self._icmp_sizes.mean, self._icmp_sizes.std)
+            if self._icmp_sizes.n >= 8 else None)
+        self._rate_den = max(self._max_src_rate, 1.0)
+        self._fan_den = max(self._max_fanout, 1)
+        self._cuts = None
+
+    def _build_cuts(self, t: float) -> tuple:
+        """Precheck cuts for threshold ``t`` (cached until it changes)."""
+        rate_den = self._rate_den
+        fan_den = self._fan_den
+        max_fanout = self._max_fanout
+
+        def rate_fires(c: int) -> bool:
+            ratio = c / rate_den
+            return ratio > 1.0 and _logistic(
+                math.log2(ratio), midpoint=2.0, steepness=1.6) > t
+
+        def fan_fires(c: int) -> bool:
+            return c > max_fanout and _logistic(
+                math.log2(c / fan_den), midpoint=1.5, steepness=1.8) > t
+
+        cuts = (
+            t,
+            _count_cut(rate_fires),                  # 1: rate count precheck
+            _count_cut(fan_fires),                   # 2: fanout precheck
+            _z_cut(6.0, 0.8, t),                     # 3: entropy z precheck
+            _z_cut(6.0, 0.7, t),                     # 4: icmp-size z precheck
+            0.75 > t,                                # 5: new-service (priv)
+            0.55 > t,                                # 6: new-service (other)
+            0.7 > t,                                 # 7: token novelty
+        )
+        self._cuts = cuts
+        return cuts
 
     # ------------------------------------------------------------------
     # detection
@@ -225,6 +444,8 @@ class AnomalyEngine:
         """Score one packet; returns the features above threshold."""
         if not self.trained:
             raise ConfigurationError("AnomalyEngine.inspect before freeze()")
+        if self._fast:
+            return self._inspect_fast(pkt, now)
         self.packets_inspected += 1
         scores: List[AnomalyScore] = []
         t = self.threshold
@@ -290,6 +511,105 @@ class AnomalyEngine:
                 s = 0.7
                 if s > t:
                     scores.append(AnomalyScore(("token", s)))
+
+        self.detections += len(scores)
+        return scores
+
+    def _inspect_fast(self, pkt: Packet, now: float) -> List[AnomalyScore]:
+        """Fast scoring path: identical output, cheaper per packet.
+
+        Every score appended here is produced by the *same* float
+        expression as the baseline ``inspect``; the precheck cuts and
+        memoized payload features only decide how often that expression
+        needs to run.
+        """
+        self.packets_inspected += 1
+        scores: List[AnomalyScore] = []
+        t = self.threshold
+        cuts = self._cuts
+        if cuts is None or cuts[0] != t:
+            cuts = self._build_cuts(t)
+
+        # rate
+        src = pkt.src.value
+        bin_idx = int(now)
+        live = self._live_bins.get(src)
+        if live is None or live[0] != bin_idx:
+            live = [bin_idx, 0]
+            self._live_bins[src] = live
+        live[1] += 1
+        if live[1] >= cuts[1]:
+            ratio = live[1] / self._rate_den
+            if ratio > 1.0:
+                s = _logistic(math.log2(ratio), midpoint=2.0, steepness=1.6)
+                if s > t:
+                    scores.append(AnomalyScore(("rate", s)))
+
+        # fan-out
+        fo = self._live_fanout.get(src)
+        if fo is None or now - fo[0] > self.window_s:
+            fo = [now, set()]
+            self._live_fanout[src] = fo
+        fo[1].add(pkt.dport)
+        fan = len(fo[1])
+        if fan >= cuts[2] and fan > self._max_fanout:
+            s = _logistic(math.log2(fan / self._fan_den),
+                          midpoint=1.5, steepness=1.8)
+            if s > t:
+                scores.append(AnomalyScore(("fanout", s)))
+
+        # new service (only consider plausible service-side ports)
+        proto_id = pkt.proto_id
+        if proto_id == _ICMP_ID:
+            port = 0
+        else:
+            sport = pkt.sport
+            dport = pkt.dport
+            port = sport if sport < dport else dport
+        ik = (proto_id << 16) | port
+        if ik not in self._services_ik:
+            fb = pkt.flag_bits
+            if (proto_id != _TCP_ID
+                    or (fb & _SYN_BIT and not fb & _ACK_BIT)):
+                if port < 1024 or pkt.dport == port:
+                    if cuts[5]:
+                        scores.append(AnomalyScore(("new-service", 0.75)))
+                elif cuts[6]:
+                    scores.append(AnomalyScore(("new-service", 0.55)))
+
+        # payload entropy deviation
+        payload = pkt.payload
+        if payload is not None and len(payload) >= 32:
+            params = self._entropy_ik.get(ik)
+            if params is not None:
+                h = pkt._h256
+                if h is None:
+                    h = shannon_entropy_prefix(payload, _ENTROPY_SAMPLE)
+                    pkt._h256 = h
+                z = abs(h - params[0]) / params[1]
+                if z >= cuts[3]:
+                    s = _logistic(z, midpoint=6.0, steepness=0.8)
+                    if s > t:
+                        scores.append(AnomalyScore(("entropy", s)))
+
+        # ICMP payload size
+        if proto_id == _ICMP_ID and self._icmp_params is not None:
+            params = self._icmp_params
+            z = abs(pkt._payload_len - params[0]) / params[1]
+            if z >= cuts[4]:
+                s = _logistic(z, midpoint=6.0, steepness=0.7)
+                if s > t:
+                    scores.append(AnomalyScore(("icmp-size", s)))
+
+        # token novelty on known services
+        known = self._tokens_ik.get(ik)
+        if known is not None and cuts[7]:
+            token = pkt._tok
+            if token is False:
+                token = _token_fast(payload)
+                pkt._tok = token
+            if token is not None and token not in known:
+                scores.append(AnomalyScore(("token", 0.7)))
 
         self.detections += len(scores)
         return scores

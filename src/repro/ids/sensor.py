@@ -114,8 +114,15 @@ class AnomalyDetector:
     """Adapter presenting an :class:`AnomalyEngine` as a Detector."""
 
     def __init__(self, engine: Optional[AnomalyEngine] = None,
-                 sensitivity: float = 0.5) -> None:
-        self.engine = engine or AnomalyEngine(sensitivity=sensitivity)
+                 sensitivity: float = 0.5,
+                 path: Optional[str] = None) -> None:
+        if engine is None:
+            engine = AnomalyEngine(sensitivity=sensitivity, path=path)
+        elif path is not None and engine.anomaly_path != path:
+            raise ConfigurationError(
+                f"engine was built with path {engine.anomaly_path!r}, "
+                f"conflicting with path={path!r}")
+        self.engine = engine
         self.engine.sensitivity = sensitivity
 
     @property

@@ -111,6 +111,8 @@ class Packet:
         "payload",
         "_payload_len",
         "attack_id",
+        "_h256",
+        "_tok",
     )
 
     def __init__(
@@ -154,6 +156,13 @@ class Packet:
                 raise NetworkError("payload_len smaller than materialized payload")
             self._payload_len = int(payload_len)
         self.attack_id = attack_id
+        # Derived-feature memo slots (payload entropy over the first 256
+        # bytes; extracted application token).  Pure functions of the
+        # immutable payload, so they may be shared by every detector pass
+        # over this packet; ``None``/``False`` mean "not computed yet"
+        # (a computed token may legitimately be ``None``).
+        self._h256 = None
+        self._tok = False
 
     # ------------------------------------------------------------------
     @property

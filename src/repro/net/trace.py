@@ -25,20 +25,58 @@ Binary layout (little-endian)::
         alen     u16  attack_id length (0 = benign)
         payload  blen bytes
         attack   alen bytes (utf-8)
+
+Data plane
+----------
+The format has one codec but two implementations.  ``save``/``load``/
+``to_bytes``/``from_bytes`` run the *batched* implementation: encode packs
+every record into one joined buffer and issues a single write; decode maps
+the whole file (``mmap`` when possible) and walks it with
+``struct.unpack_from`` offsets, slicing payload bytes straight out of the
+single buffer instead of issuing one ``read`` per field.  The original
+per-record stream loop is kept verbatim as ``_write``/``_read`` -- the v1
+reference the round-trip property tests compare against byte-for-byte.
+
+Replay likewise has two modes (:data:`DEFAULT_REPLAY_MODE`,
+:func:`use_replay_mode`): ``"scheduled"`` heap-inserts one event per record
+up front (the reference), while ``"batched"`` drives the whole sorted
+stream through a single reusable engine cursor
+(:meth:`repro.sim.engine.Engine.schedule_stream`).  The cursor reserves the
+same sequence-number block eager scheduling would have consumed, so event
+ordering -- including ties against unrelated events -- is identical.
 """
 
 from __future__ import annotations
 
+import heapq
 import io
+import mmap
+import os
 import struct
-from typing import BinaryIO, Callable, Iterable, Iterator, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import (
+    BinaryIO,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..errors import TraceFormatError
-from ..sim.engine import Engine
+from ..sim.engine import Engine, EventHandle
 from .address import IPv4Address
 from .packet import Packet, Protocol, TcpFlags
 
-__all__ = ["TimedPacket", "Trace", "TraceRecorder"]
+__all__ = [
+    "TimedPacket",
+    "Trace",
+    "TraceRecorder",
+    "REPLAY_MODES",
+    "DEFAULT_REPLAY_MODE",
+    "use_replay_mode",
+]
 
 _MAGIC = b"RTRC"
 _VERSION = 1
@@ -46,6 +84,31 @@ _HEADER = struct.Struct("<4sHI")
 _RECORD = struct.Struct("<dIIHHBBIIIIH")
 _PROTO_CODE = {Protocol.TCP: 0, Protocol.UDP: 1, Protocol.ICMP: 2}
 _CODE_PROTO = {v: k for k, v in _PROTO_CODE.items()}
+
+#: The selectable replay modes (identical delivery order; see module doc).
+REPLAY_MODES = ("batched", "scheduled")
+
+#: Mode used when ``Trace.replay`` is called without an explicit ``mode=``.
+DEFAULT_REPLAY_MODE = "batched"
+
+
+def _check_replay_mode(mode: str) -> str:
+    if mode not in REPLAY_MODES:
+        raise TraceFormatError(
+            f"unknown replay mode {mode!r}; expected one of {REPLAY_MODES}")
+    return mode
+
+
+@contextmanager
+def use_replay_mode(mode: str) -> Iterator[None]:
+    """Temporarily change the default replay mode (benchmarks/tests)."""
+    global DEFAULT_REPLAY_MODE
+    previous = DEFAULT_REPLAY_MODE
+    DEFAULT_REPLAY_MODE = _check_replay_mode(mode)
+    try:
+        yield
+    finally:
+        DEFAULT_REPLAY_MODE = previous
 
 
 class TimedPacket(Tuple[float, Packet]):
@@ -75,6 +138,9 @@ class Trace:
     def __init__(self, name: str = "trace") -> None:
         self.name = name
         self._records: List[TimedPacket] = []
+        # cached aggregate sweeps; invalidated by append()
+        self._total_bytes: Optional[int] = None
+        self._attack_packets: Optional[int] = None
 
     # ------------------------------------------------------------------
     # building
@@ -85,6 +151,8 @@ class Trace:
                 f"record at t={time} precedes previous t={self._records[-1].time}"
             )
         self._records.append(TimedPacket(time, packet))
+        self._total_bytes = None
+        self._attack_packets = None
 
     def extend(self, records: Iterable[Tuple[float, Packet]]) -> None:
         for t, p in records:
@@ -95,8 +163,6 @@ class Trace:
         """Merge traces by time (stable across equal timestamps)."""
         merged = Trace(name)
         streams = [list(t) for t in traces]
-        import heapq
-
         for rec in heapq.merge(*streams, key=lambda r: r.time):
             merged._records.append(rec)
         return merged
@@ -121,26 +187,70 @@ class Trace:
 
     @property
     def total_bytes(self) -> int:
-        return sum(r.packet.wire_size for r in self._records)
+        if self._total_bytes is None:
+            self._total_bytes = sum(
+                r.packet.wire_size for r in self._records)
+        return self._total_bytes
 
     def attack_ids(self) -> set:
         """Distinct ground-truth attack instances present in the trace."""
         return {r.packet.attack_id for r in self._records if r.packet.attack_id}
 
     def attack_packet_count(self) -> int:
-        return sum(1 for r in self._records if r.packet.attack_id)
+        if self._attack_packets is None:
+            self._attack_packets = sum(
+                1 for r in self._records if r.packet.attack_id)
+        return self._attack_packets
 
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
     def save(self, fileobj_or_path) -> None:
-        if isinstance(fileobj_or_path, (str, bytes)):
+        """Write the trace; accepts a path (str/``os.PathLike``/bytes) or a
+        writable binary file object."""
+        if isinstance(fileobj_or_path, (str, bytes, os.PathLike)):
             with open(fileobj_or_path, "wb") as fh:
-                self._write(fh)
+                fh.write(self._encode())
         else:
-            self._write(fileobj_or_path)
+            fileobj_or_path.write(self._encode())
+
+    def _encode(self) -> bytes:
+        """Batched encoder: pack every record, join, one buffer out.
+
+        Byte-identical to the v1 stream loop ``_write`` (same structs, same
+        field order), proven by the round-trip property tests.
+        """
+        parts = [_HEADER.pack(_MAGIC, _VERSION, len(self._records))]
+        pack = _RECORD.pack
+        append = parts.append
+        for t, p in self._records:
+            payload = p.payload or b""
+            attack = (p.attack_id or "").encode("utf-8")
+            append(pack(
+                t,
+                p.src.value,
+                p.dst.value,
+                p.sport,
+                p.dport,
+                _PROTO_CODE[p.proto],
+                int(p.flags),
+                p.seq & 0xFFFFFFFF,
+                p.ack & 0xFFFFFFFF,
+                p.payload_len,
+                len(payload),
+                len(attack),
+            ))
+            if payload:
+                append(payload)
+            if attack:
+                append(attack)
+        return b"".join(parts)
 
     def _write(self, fh: BinaryIO) -> None:
+        """v1 reference encoder: one ``write`` per field group per record.
+
+        Kept unchanged as the differential baseline for ``_encode``.
+        """
         fh.write(_HEADER.pack(_MAGIC, _VERSION, len(self._records)))
         for t, p in self._records:
             payload = p.payload or b""
@@ -166,13 +276,96 @@ class Trace:
 
     @classmethod
     def load(cls, fileobj_or_path, name: Optional[str] = None) -> "Trace":
-        if isinstance(fileobj_or_path, (str, bytes)):
-            with open(fileobj_or_path, "rb") as fh:
-                return cls._read(fh, name or str(fileobj_or_path))
-        return cls._read(fileobj_or_path, name or "trace")
+        """Read a trace from a path (str/``os.PathLike``/bytes path), or a
+        readable binary file object.
+
+        A ``bytes`` value that starts with the trace magic is raw trace
+        *content*, not a path -- a mistake this method refuses loudly
+        instead of surfacing a confusing filesystem error.
+        """
+        if isinstance(fileobj_or_path, bytes):
+            if fileobj_or_path[:len(_MAGIC)] == _MAGIC:
+                raise TraceFormatError(
+                    "Trace.load was handed raw trace bytes, not a filesystem "
+                    "path; decode in-memory trace data with Trace.from_bytes")
+            fileobj_or_path = os.fsdecode(fileobj_or_path)
+        if isinstance(fileobj_or_path, (str, os.PathLike)):
+            path = os.fspath(fileobj_or_path)
+            with open(path, "rb") as fh:
+                try:
+                    buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                except (ValueError, OSError):
+                    # empty file or mmap-hostile filesystem
+                    return cls._decode(fh.read(), name or str(path))
+                with buf:
+                    return cls._decode(buf, name or str(path))
+        return cls._decode(fileobj_or_path.read(), name or "trace")
+
+    @classmethod
+    def _decode(cls, buf, name: str) -> "Trace":
+        """Batched decoder over one ``bytes``/``mmap`` buffer.
+
+        ``unpack_from`` walks fixed offsets with no per-record reads;
+        payloads are sliced straight out of the buffer (an ``mmap`` slice
+        materializes only the pages actually touched).  Decodes exactly the
+        records -- and raises exactly the errors -- of the v1 stream loop
+        ``_read``.
+        """
+        end = len(buf)
+        if end < _HEADER.size:
+            raise TraceFormatError("truncated trace header")
+        magic, version, count = _HEADER.unpack_from(buf, 0)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version != _VERSION:
+            raise TraceFormatError(f"unsupported trace version {version}")
+        trace = cls(name)
+        records = trace._records
+        unpack_from = _RECORD.unpack_from
+        rsize = _RECORD.size
+        off = _HEADER.size
+        for _ in range(count):
+            if off + rsize > end:
+                raise TraceFormatError("truncated trace record")
+            (t, src, dst, sport, dport, proto_code, flags,
+             seq, ack, plen, blen, alen) = unpack_from(buf, off)
+            off += rsize
+            if blen:
+                if off + blen > end:
+                    raise TraceFormatError("truncated payload")
+                payload = bytes(buf[off:off + blen])
+                off += blen
+            else:
+                payload = None
+            if alen:
+                if off + alen > end:
+                    raise TraceFormatError("truncated attack id")
+                attack_id = bytes(buf[off:off + alen]).decode("utf-8")
+                off += alen
+            else:
+                attack_id = None
+            pkt = Packet(
+                src=IPv4Address(src),
+                dst=IPv4Address(dst),
+                sport=sport,
+                dport=dport,
+                proto=_CODE_PROTO[proto_code],
+                flags=TcpFlags(flags),
+                seq=seq,
+                ack=ack,
+                payload=payload,
+                payload_len=plen,
+                attack_id=attack_id,
+            )
+            records.append(TimedPacket(t, pkt))
+        return trace
 
     @classmethod
     def _read(cls, fh: BinaryIO, name: str) -> "Trace":
+        """v1 reference decoder: one stream read per field group.
+
+        Kept unchanged as the differential baseline for ``_decode``.
+        """
         head = fh.read(_HEADER.size)
         if len(head) != _HEADER.size:
             raise TraceFormatError("truncated trace header")
@@ -211,13 +404,11 @@ class Trace:
         return trace
 
     def to_bytes(self) -> bytes:
-        buf = io.BytesIO()
-        self._write(buf)
-        return buf.getvalue()
+        return self._encode()
 
     @classmethod
     def from_bytes(cls, data: bytes, name: str = "trace") -> "Trace":
-        return cls._read(io.BytesIO(data), name)
+        return cls._decode(data, name)
 
     # ------------------------------------------------------------------
     # recording
@@ -243,20 +434,30 @@ class Trace:
         sink: Callable[[Packet], None],
         start_at: float = 0.0,
         speedup: float = 1.0,
-    ) -> None:
-        """Schedule every record onto ``engine``, delivering to ``sink``.
+        mode: Optional[str] = None,
+    ) -> Optional[EventHandle]:
+        """Feed every record to ``sink`` on ``engine``'s clock.
 
         ``speedup > 1`` compresses inter-packet gaps (a rate-scaling knob for
-        throughput sweeps); packet *content* is unchanged.
+        throughput sweeps); packet *content* is unchanged.  ``mode`` selects
+        the delivery mechanism (``None`` = :data:`DEFAULT_REPLAY_MODE`);
+        both modes produce identical event ordering, and the returned handle
+        (batched mode) cancels the not-yet-delivered remainder.
         """
         if speedup <= 0:
             raise TraceFormatError("speedup must be positive")
+        mode = _check_replay_mode(
+            DEFAULT_REPLAY_MODE if mode is None else mode)
         if not self._records:
-            return
+            return None
+        if mode == "batched":
+            return engine.schedule_stream(
+                self._records, sink, start_at=start_at, speedup=speedup)
         t0 = self._records[0].time
         for t, pkt in self._records:
             at = start_at + (t - t0) / speedup
             engine.schedule_at(at, sink, pkt)
+        return None
 
 
 class TraceRecorder:

@@ -61,12 +61,13 @@ class AafidProduct(Product):
     )
 
     def __init__(self, logging_level: LoggingLevel = LoggingLevel.C2,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 anomaly_path: Optional[str] = None) -> None:
         self.logging_level = logging_level
-        # ``engine`` (the signature-kernel knob) is accepted for a uniform
-        # product constructor signature; AAFID is host-based and runs no
-        # signature engine
-        del engine
+        # ``engine`` (the signature-kernel knob) and ``anomaly_path`` are
+        # accepted for a uniform product constructor signature; AAFID is
+        # host-based and runs neither network engine
+        del engine, anomaly_path
 
     def deploy(self, engine: Engine, testbed: LanTestbed) -> Deployment:
         if not testbed.hosts:

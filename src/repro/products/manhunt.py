@@ -63,9 +63,11 @@ class ManhuntProduct(Product):
     )
 
     def __init__(self, sensitivity: float = 0.5, n_sensors: int = 4,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 anomaly_path: Optional[str] = None) -> None:
         self.sensitivity = sensitivity
         self.n_sensors = n_sensors
+        self.anomaly_path = anomaly_path
         # ``engine`` (the signature-kernel knob) is accepted for a uniform
         # product constructor signature; ManHunt's sensors are anomaly
         # detectors, so the knob has nothing to select
@@ -75,7 +77,8 @@ class ManhuntProduct(Product):
         sensors = [
             Sensor(
                 engine, f"mh-sensor{i}",
-                AnomalyDetector(sensitivity=self.sensitivity),
+                AnomalyDetector(sensitivity=self.sensitivity,
+                                path=self.anomaly_path),
                 ops_rate=80e6,
                 header_ops=400.0,
                 per_byte_ops=6.0,    # flow-level analysis: light payload touch

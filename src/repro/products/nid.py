@@ -60,11 +60,15 @@ class NidProduct(Product):
     )
 
     def __init__(self, sensitivity: float = 0.5,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 anomaly_path: Optional[str] = None) -> None:
         self.sensitivity = sensitivity
         #: signature matching kernel ("indexed" | "linear"; None = ambient
         #: default), forwarded to every deployed SignatureDetector
         self.engine_kind = engine
+        # ``anomaly_path`` is accepted for a uniform product constructor
+        # signature; this product deploys no anomaly engine
+        del anomaly_path
 
     def deploy(self, engine: Engine, testbed: LanTestbed) -> Deployment:
         sensor = Sensor(

@@ -21,6 +21,10 @@ from ..errors import ScheduleError, SimulationError
 __all__ = ["Engine", "EventHandle"]
 
 
+def _noop() -> None:  # placeholder callback while a stream cursor is built
+    return None
+
+
 class EventHandle:
     """A cancellable reference to a scheduled callback.
 
@@ -142,6 +146,65 @@ class Engine:
     def cancel(handle: EventHandle) -> None:
         """Cancel a previously scheduled event."""
         handle.cancel()
+
+    def schedule_stream(
+        self,
+        records,
+        sink: Callable[..., Any],
+        start_at: float = 0.0,
+        speedup: float = 1.0,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Deliver a time-sorted record stream through one reusable cursor.
+
+        ``records`` is a non-empty sequence of ``(time, payload)`` pairs in
+        non-decreasing time order; record ``i`` is delivered as
+        ``sink(payload_i)`` at ``start_at + (time_i - time_0) / speedup`` --
+        the exact expression per-record scheduling would use.  Only one heap
+        entry exists at a time instead of ``len(records)``.
+
+        Event ordering is *identical* to eager per-record ``schedule_at``
+        calls: the cursor reserves the contiguous sequence-number block
+        those calls would have consumed and stamps record ``i``'s number
+        before each re-push, so ties against unrelated events (same time,
+        same priority) break exactly the same way.
+
+        Cancelling the returned cursor stops the not-yet-delivered
+        remainder of the stream.
+        """
+        n = len(records)
+        if n == 0:
+            raise ScheduleError("schedule_stream needs at least one record")
+        if speedup <= 0:
+            raise ScheduleError(f"non-positive speedup {speedup!r}")
+        if not callable(sink):
+            raise ScheduleError(f"sink {sink!r} is not callable")
+        t0 = records[0][0]
+        first_at = start_at + (records[0][0] - t0) / speedup
+        if first_at < self._now:
+            raise ScheduleError(
+                f"cannot schedule at t={first_at!r}; "
+                f"clock already at {self._now!r}")
+        base = self._seq
+        self._seq += n  # reserve the block eager scheduling would have used
+        cursor = EventHandle(float(first_at), priority, base, _noop, ())
+        idx = 0
+
+        def fire() -> None:
+            nonlocal idx
+            record = records[idx]
+            idx += 1
+            if idx < n and not cursor.cancelled:
+                cursor.time = start_at + (records[idx][0] - t0) / speedup
+                cursor.seq = base + idx
+                cursor.fn = fire
+                cursor.args = ()
+                heapq.heappush(self._heap, cursor)
+            sink(record[1])
+
+        cursor.fn = fire
+        heapq.heappush(self._heap, cursor)
+        return cursor
 
     # ------------------------------------------------------------------
     # execution

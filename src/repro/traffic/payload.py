@@ -27,6 +27,7 @@ __all__ = [
     "cluster_command",
     "random_payload",
     "shannon_entropy",
+    "shannon_entropy_prefix",
 ]
 
 _PATHS = [
@@ -152,4 +153,22 @@ def shannon_entropy(data: bytes) -> float:
         return 0.0
     counts = np.bincount(np.frombuffer(data, dtype=np.uint8), minlength=256)
     probs = counts[counts > 0] / len(data)
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def shannon_entropy_prefix(data: bytes, limit: int) -> float:
+    """``shannon_entropy(data[:limit])`` without materializing the slice.
+
+    Bit-identical to the sliced form: ``np.frombuffer(..., count=n)`` reads
+    the same first ``n`` bytes the slice would copy, and every subsequent
+    operation (bincount, division by ``n``, ``log2``, pairwise sum) is the
+    same expression over the same values.  The anomaly fast path relies on
+    this exactness to stay score-for-score identical to the baseline.
+    """
+    n = min(len(data), limit)
+    if n == 0:
+        return 0.0
+    counts = np.bincount(np.frombuffer(data, dtype=np.uint8, count=n),
+                         minlength=256)
+    probs = counts[counts > 0] / n
     return float(-(probs * np.log2(probs)).sum())

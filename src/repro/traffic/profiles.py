@@ -46,6 +46,8 @@ def _dematerialize(pkts: Sequence[Packet]) -> None:
     for p in pkts:
         if p.payload is not None:
             p.payload = None  # _payload_len already covers the bytes
+            p._h256 = None    # drop any derived-feature memo with the bytes
+            p._tok = False
 
 
 class TrafficProfile:

@@ -205,6 +205,8 @@ class TestResultCache:
         # pickle raises on text garbage ("garbage\n")
         for junk in (b"not a pickle", b"garbage\n"):
             for name in os.listdir(cache_dir):
+                if not name.endswith(".pkl"):
+                    continue        # skip the trace-corpus subdirectory
                 with open(os.path.join(cache_dir, name), "wb") as fh:
                     fh.write(junk)
             again = evaluate_product(AafidProduct, opts)
@@ -217,8 +219,14 @@ class TestResultCache:
         evaluate_product(AafidProduct, opts)
         cache = ResultCache(cache_dir)
         assert len(cache) == 2
-        assert clear_cache(cache_dir) == 2
+        traces_dir = os.path.join(cache_dir, "traces")
+        n_traces = len([n for n in os.listdir(traces_dir)
+                        if n.endswith(".rtrc")])
+        assert n_traces > 0
+        # clear-cache drops the work units and the corpus traces together
+        assert clear_cache(cache_dir) == 2 + n_traces
         assert len(cache) == 0
+        assert not os.listdir(traces_dir)
         assert clear_cache(cache_dir) == 0
 
     def test_unpicklable_factory_degrades_to_inline(self):

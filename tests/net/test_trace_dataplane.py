@@ -1,0 +1,263 @@
+"""The trace data plane: batched codec vs the v1 loops, batched replay
+vs eager scheduling, and the cached trace statistics.
+
+The batched ``_encode``/``_decode`` pair must be *byte-identical* (encode)
+and *field-identical* (decode) to the per-record ``_write``/``_read``
+loops kept in-tree as the reference, over arbitrary traces -- including
+payload-less packets, logical-length-only packets, and attack labels.
+Batched replay must deliver the same events in the same order as eager
+per-record scheduling, including ties against unrelated events.
+"""
+
+import io
+import pathlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.net.address import IPv4Address
+from repro.net.packet import Packet, Protocol, TcpFlags
+from repro.net.trace import (
+    DEFAULT_REPLAY_MODE,
+    REPLAY_MODES,
+    Trace,
+    use_replay_mode,
+)
+from repro.sim.engine import Engine
+
+A = IPv4Address("10.0.0.1")
+B = IPv4Address("10.0.0.2")
+
+
+# ----------------------------------------------------------------------
+# random traces
+# ----------------------------------------------------------------------
+payloads = (st.none()
+            | st.binary(min_size=1, max_size=60)
+            | st.just(b"GET /index.html HTTP/1.0\r\n"))
+
+
+@st.composite
+def traces(draw):
+    trace = Trace(draw(st.sampled_from(("t", "bench", "scenario"))))
+    t = 0.0
+    for _ in range(draw(st.integers(0, 25))):
+        t += draw(st.sampled_from((0.0, 0.001, 0.5)))
+        payload = draw(payloads)
+        plen = None
+        if payload is None and draw(st.booleans()):
+            plen = draw(st.integers(0, 1500))  # logical-length-only packet
+        trace.append(t, Packet(
+            src=draw(st.sampled_from((A, B))),
+            dst=draw(st.sampled_from((A, B))),
+            sport=draw(st.sampled_from((0, 80, 40000))),
+            dport=draw(st.sampled_from((0, 80, 7000))),
+            proto=draw(st.sampled_from((Protocol.TCP, Protocol.UDP,
+                                        Protocol.ICMP))),
+            flags=draw(st.sampled_from((TcpFlags.NONE, TcpFlags.SYN,
+                                        TcpFlags.ACK | TcpFlags.PSH))),
+            seq=draw(st.sampled_from((0, 1000))),
+            payload=payload, payload_len=plen,
+            attack_id=draw(st.sampled_from((None, "a1", "flood-2")))))
+    return trace
+
+
+def fields(trace):
+    """Every codec-visible field of every record."""
+    return [(t, p.src.value, p.dst.value, p.sport, p.dport, p.proto,
+             p.flags, p.seq, p.ack, p.payload, p.payload_len, p.attack_id)
+            for t, p in trace]
+
+
+class TestCodecEquivalence:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(trace=traces())
+    def test_batched_encode_matches_v1_bytes(self, trace):
+        buf = io.BytesIO()
+        trace._write(buf)
+        assert trace._encode() == buf.getvalue()
+
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(trace=traces())
+    def test_batched_decode_matches_v1_fields(self, trace):
+        data = trace.to_bytes()
+        batched = Trace.from_bytes(data, name=trace.name)
+        looped = Trace._read(io.BytesIO(data), trace.name)
+        assert fields(batched) == fields(looped)
+
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(trace=traces())
+    def test_round_trip_preserves_fields(self, trace):
+        decoded = Trace.from_bytes(trace.to_bytes(), name=trace.name)
+        assert fields(decoded) == fields(trace)
+        assert decoded.total_bytes == trace.total_bytes
+        assert decoded.attack_packet_count() == trace.attack_packet_count()
+        assert decoded.attack_ids() == trace.attack_ids()
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(trace=traces(), cut=st.integers(1, 40))
+    def test_truncation_raises_like_v1(self, trace, cut):
+        data = trace.to_bytes()
+        if cut >= len(data):
+            return
+        bad = data[:-cut]
+        with pytest.raises(TraceFormatError) as batched_err:
+            Trace.from_bytes(bad)
+        with pytest.raises(TraceFormatError) as looped_err:
+            Trace._read(io.BytesIO(bad), "trace")
+        assert str(batched_err.value) == str(looped_err.value)
+
+
+class TestSaveLoadPaths:
+    def _trace(self):
+        trace = Trace("disk")
+        trace.append(0.0, Packet(src=A, dst=B, payload=b"hello"))
+        trace.append(0.5, Packet(src=B, dst=A, attack_id="a1",
+                                 payload_len=900))
+        return trace
+
+    def test_pathlike_round_trip(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "t.rtrc"          # os.PathLike, not str
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert fields(loaded) == fields(trace)
+
+    def test_str_path_round_trip(self, tmp_path):
+        trace = self._trace()
+        path = str(tmp_path / "t.rtrc")
+        trace.save(path)
+        assert fields(Trace.load(path)) == fields(trace)
+
+    def test_file_object_round_trip(self, tmp_path):
+        trace = self._trace()
+        with open(tmp_path / "t.rtrc", "wb") as fh:
+            trace.save(fh)
+        with open(tmp_path / "t.rtrc", "rb") as fh:
+            assert fields(Trace.load(fh, name="disk")) == fields(trace)
+
+    def test_load_rejects_raw_trace_bytes(self):
+        data = self._trace().to_bytes()
+        with pytest.raises(TraceFormatError, match="from_bytes"):
+            Trace.load(data)
+
+    def test_load_empty_file(self, tmp_path):
+        # empty files cannot be mmapped; the fallback must still produce
+        # the same "truncated trace header" failure as the loop reader
+        path = tmp_path / "empty.rtrc"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            Trace.load(path)
+
+
+class TestCachedStatistics:
+    def test_total_bytes_invalidated_by_append(self):
+        trace = Trace()
+        p1 = Packet(src=A, dst=B, payload=b"xxxx")
+        trace.append(0.0, p1)
+        assert trace.total_bytes == p1.wire_size
+        p2 = Packet(src=A, dst=B, payload_len=100)
+        trace.append(1.0, p2)
+        assert trace.total_bytes == p1.wire_size + p2.wire_size
+
+    def test_attack_count_invalidated_by_extend(self):
+        trace = Trace()
+        trace.append(0.0, Packet(src=A, dst=B, attack_id="a1"))
+        assert trace.attack_packet_count() == 1
+        trace.extend([(1.0, Packet(src=A, dst=B, attack_id="a2")),
+                      (2.0, Packet(src=A, dst=B))])
+        assert trace.attack_packet_count() == 2
+
+    def test_merge_preserves_statistics(self):
+        t1, t2 = Trace("a"), Trace("b")
+        t1.append(0.0, Packet(src=A, dst=B, payload=b"123"))
+        t2.append(0.5, Packet(src=B, dst=A, attack_id="x", payload=b"45"))
+        merged = Trace.merge([t1, t2])
+        assert merged.total_bytes == t1.total_bytes + t2.total_bytes
+        assert merged.attack_packet_count() == 1
+        assert [t for t, _ in merged] == [0.0, 0.5]
+
+
+# ----------------------------------------------------------------------
+# replay equivalence
+# ----------------------------------------------------------------------
+def replay_log(trace, mode, speedup=1.0, start_at=0.0, competing=True):
+    """Event log of a replay, with competing same-time events interleaved
+    and one event scheduled from inside the sink."""
+    engine = Engine()
+    log = []
+    if competing:
+        for t, _ in trace:
+            at = start_at + (t - trace[0].time) / speedup
+            engine.schedule_at(at, log.append, ("tick", round(at, 9)))
+    scheduled_inner = []
+
+    def sink(pkt):
+        log.append(("pkt", pkt.sport, pkt.dport, engine.now))
+        if not scheduled_inner:
+            scheduled_inner.append(True)
+            engine.schedule(0.0, log.append, ("inner", engine.now))
+
+    trace.replay(engine, sink, start_at=start_at, speedup=speedup, mode=mode)
+    engine.run()
+    return log
+
+
+@st.composite
+def replayable_traces(draw):
+    trace = Trace("r")
+    t = 0.0
+    for i in range(draw(st.integers(1, 15))):
+        t += draw(st.sampled_from((0.0, 0.001, 0.25)))  # 0.0 forces ties
+        trace.append(t, Packet(src=A, dst=B, sport=i, dport=80))
+    return trace
+
+
+class TestReplayEquivalence:
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(trace=replayable_traces(),
+           speedup=st.sampled_from((0.5, 1.0, 4.0)),
+           start_at=st.sampled_from((0.0, 3.0)))
+    def test_batched_equals_scheduled(self, trace, speedup, start_at):
+        assert (replay_log(trace, "batched", speedup, start_at)
+                == replay_log(trace, "scheduled", speedup, start_at))
+
+    def test_cursor_cancel_stops_remainder(self):
+        trace = Trace("c")
+        for i in range(5):
+            trace.append(float(i), Packet(src=A, dst=B, sport=i))
+        engine = Engine()
+        seen = []
+
+        def sink(pkt):
+            seen.append(pkt.sport)
+            if pkt.sport == 2:
+                cursor.cancel()
+
+        cursor = trace.replay(engine, sink, mode="batched")
+        engine.run()
+        assert seen == [0, 1, 2]
+
+    def test_mode_knob_and_validation(self):
+        assert DEFAULT_REPLAY_MODE in REPLAY_MODES
+        trace = Trace("m")
+        trace.append(0.0, Packet(src=A, dst=B))
+        engine = Engine()
+        with pytest.raises(TraceFormatError):
+            trace.replay(engine, lambda p: None, speedup=0.0)
+        with pytest.raises(TraceFormatError):
+            trace.replay(engine, lambda p: None, mode="eager")
+        with use_replay_mode("scheduled"):
+            assert trace.replay(Engine(), lambda p: None) is None
+
+    def test_empty_trace_is_a_noop(self):
+        engine = Engine()
+        assert Trace("e").replay(engine, lambda p: None) is None
+        assert engine.pending == 0
