@@ -33,6 +33,12 @@ _PROFILES = ("realtime", "distributed", "ecommerce")
 _PRODUCTS = ("nid", "realsecure", "manhunt", "aafid")
 
 
+def _fault_plan_names():
+    from .sim.faults import plan_names
+
+    return plan_names()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "share generated traces via DIR/traces/ "
                              "(default dir .repro-cache/ when the flag is "
                              "given without a path)")
+    p_eval.add_argument("--faults", choices=_fault_plan_names(),
+                        default="none", metavar="PLAN",
+                        help="run the dependability experiment under this "
+                             "named fault plan and score the two extension "
+                             "metrics ('none' skips it; plans: "
+                             f"{', '.join(_fault_plan_names())})")
 
     p_cc = sub.add_parser("clear-cache",
                           help="delete memoized evaluation work units and "
@@ -110,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="fast",
                          help="anomaly scoring path (scores are identical; "
                               "baseline is the reference path)")
+    p_sweep.add_argument("--faults", choices=_fault_plan_names(),
+                         default="none", metavar="PLAN",
+                         help="sweep every sensitivity point under this "
+                              "named fault plan (degraded Figure-4 curves)")
     return parser
 
 
@@ -219,19 +235,41 @@ def _cmd_evaluate(args, out) -> int:
             train_duration_s=15.0,
             throughput_rates_pps=(500, 4000, 32000), throughput_probe_s=0.4,
             workers=args.workers, cache_dir=args.cache_dir,
-            engine=args.engine, anomaly_path=args.anomaly_path)
+            engine=args.engine, anomaly_path=args.anomaly_path,
+            faults=args.faults)
     else:
         options = EvaluationOptions(seed=args.seed, workers=args.workers,
                                     cache_dir=args.cache_dir,
                                     engine=args.engine,
-                                    anomaly_path=args.anomaly_path)
+                                    anomaly_path=args.anomaly_path,
+                                    faults=args.faults)
     factories = [_product_factory(p) for p in args.products]
-    field = evaluate_field(factories, _requirements(args.profile), options)
+    requirements = _requirements(args.profile)
+    catalog = None
+    if args.faults != "none":
+        from .core.catalog import default_catalog
+        from .core.extensions import (
+            dependability_metrics,
+            dependability_requirement,
+            extend_catalog,
+        )
+
+        catalog = extend_catalog(default_catalog(), dependability_metrics())
+        requirements.add(dependability_requirement())
+    field = evaluate_field(factories, requirements, options, catalog)
     print(scorecard_table(field.scorecard), file=out)
     print("", file=out)
     print(format_weighted_results(field.results), file=out)
     print(f"\nranking ({args.profile}): {' > '.join(field.ranking())}",
           file=out)
+    if args.faults != "none":
+        from .report.tables import dependability_table
+
+        reports = [ev.bundle.dependability
+                   for ev in field.evaluations.values()
+                   if ev.bundle.dependability is not None]
+        print("", file=out)
+        print(dependability_table(reports), file=out)
     if args.cache_dir is not None:
         from .eval.parallel import last_cache_stats, last_corpus_stats
 
@@ -255,10 +293,16 @@ def _cmd_sweep(args, out) -> int:
     factory_cls = _product_factory(args.product)
     points = [i / max(args.points - 1, 1) for i in range(args.points)]
     points = [max(p, 0.05) for p in points]
+    fault_plan = None
+    if args.faults != "none":
+        from .sim.faults import named_plan
+
+        fault_plan = named_plan(args.faults, seed=args.seed)
     with use_engine(args.engine), use_anomaly_path(args.anomaly_path):
         sweep = sensitivity_sweep(
             lambda s: factory_cls(sensitivity=s), f"sim-{args.product}",
-            tuple(points), seed=args.seed, duration_s=args.duration)
+            tuple(points), seed=args.seed, duration_s=args.duration,
+            fault_plan=fault_plan)
     print(figure4_error_curves(sweep), file=out)
     return 0
 

@@ -19,8 +19,10 @@ from .requirements import Requirement, RequirementSet
 
 __all__ = [
     "human_factors_metrics",
+    "dependability_metrics",
     "extend_catalog",
     "human_factors_requirement",
+    "dependability_requirement",
     "score_human_factors",
     "score_operator_workload",
 ]
@@ -102,6 +104,54 @@ def human_factors_metrics() -> List[Metric]:
     ]
 
 
+def dependability_metrics() -> List[Metric]:
+    """The measured-under-fault metric pair (this reproduction's upgrade
+    of the statically analysed Dynamic Adaptability / Error Reporting and
+    Recovery rows: the same properties, observed while faults actually
+    happen).  Scored from :func:`repro.eval.dependability.
+    score_dependability`; absent from the default catalog so no-fault
+    evaluations render byte-identical output."""
+    return [
+        Metric(
+            name="Availability Under Faults",
+            metric_class=MetricClass.PERFORMANCE,
+            definition="Time-and-component-averaged fraction of IDS "
+                       "service retained while a reference fault plan "
+                       "crashes components, saturates sensors, stalls "
+                       "analyzers, partitions the monitor and degrades "
+                       "the monitored link.",
+            methods=frozenset({_A}),
+            anchors=ScoreAnchors(
+                low="Any single component fault takes the whole IDS "
+                    "down for the duration.",
+                average="Faulted components drop out cleanly; the rest "
+                        "of the pipeline keeps detecting.",
+                high="Failover and recovery re-registration keep "
+                     "service loss close to the theoretical minimum."),
+            in_paper_table=False,
+            higher_is_better_note="Raw observation is availability in "
+                                  "[0, 1]; higher scores higher."),
+        Metric(
+            name="Graceful Degradation",
+            metric_class=MetricClass.ARCHITECTURAL,
+            definition="How fast notification service is lost as fault "
+                       "severity grows: the slope of lost notified-"
+                       "attack fraction per unit severity over a "
+                       "measured severity ladder.",
+            methods=frozenset({_A}),
+            anchors=ScoreAnchors(
+                low="Service collapses outright at the first fault "
+                    "(cliff-edge degradation).",
+                average="Service declines roughly in proportion to the "
+                        "injected faults.",
+                high="Shedding, failover and store-and-forward keep "
+                     "detection nearly flat across severities."),
+            in_paper_table=False,
+            higher_is_better_note="Raw observation is a loss slope; "
+                                  "smaller scores higher."),
+    ]
+
+
 def extend_catalog(catalog: MetricCatalog,
                    extra: Optional[List[Metric]] = None) -> MetricCatalog:
     """A new catalog containing ``catalog``'s metrics plus ``extra``
@@ -121,6 +171,18 @@ def human_factors_requirement(weight: float = 1.0) -> Requirement:
             "Operator Workload", "Alert Comprehensibility",
             "Operator Trust Calibration", "Operator Learnability",
             "Console Interface Quality"}))
+
+
+def dependability_requirement(weight: float = 1.0) -> Requirement:
+    """A ready-made requirement wiring the dependability pair into a
+    profile (used by the CLI whenever ``--faults`` names a plan)."""
+    return Requirement(
+        name="dependable-under-faults",
+        description="the IDS keeps detecting and notifying while its own "
+                    "components fail, saturate or partition",
+        weight=weight,
+        contributes_to=frozenset({
+            "Availability Under Faults", "Graceful Degradation"}))
 
 
 def score_human_factors(

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import MeasurementError
 from ..products.base import Product
+from ..sim.faults import FaultPlan
 from .ground_truth import AccuracyResult
 from .testbed import EvalTestbed
 
@@ -67,16 +68,26 @@ def run_accuracy(
     include_dos: bool = True,
     n_hosts: int = 6,
     profile: str = "cluster",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> AccuracyResult:
     """Deploy a product at one sensitivity and score the standard scenario.
 
     ``product_factory(sensitivity)`` must return a fresh product instance
     (products are deployed once per run so detector state never leaks).
+    A non-empty ``fault_plan`` replays the scenario under injected faults
+    (degraded-conditions accuracy); None or an empty plan is the clean,
+    byte-identical path.
     """
     testbed = EvalTestbed(product_factory(sensitivity), n_hosts=n_hosts,
                           seed=seed, profile=profile)
     scenario = testbed.make_scenario(duration_s=duration_s,
                                      include_dos=include_dos)
+    if fault_plan is not None and not fault_plan.is_empty:
+        from .dependability import run_scenario_under_faults
+
+        accuracy, _ = run_scenario_under_faults(testbed, scenario,
+                                                fault_plan)
+        return accuracy
     return testbed.run_scenario(scenario)
 
 
@@ -88,12 +99,15 @@ def sensitivity_sweep(
     duration_s: float = 70.0,
     include_dos: bool = False,
     n_hosts: int = 6,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SensitivitySweep:
     """Sweep sensitivity and collect the two error-rate curves (Figure 4).
 
     DoS attacks are excluded by default: floods crash low-capacity products
     mid-sweep, which measures robustness (a different metric) rather than
-    the accuracy curve.
+    the accuracy curve.  A ``fault_plan`` runs every point under the same
+    injected faults (how the Figure-4 curves shift when the IDS itself is
+    degraded).
     """
     if not sensitivities:
         raise MeasurementError("need at least one sensitivity point")
@@ -101,7 +115,7 @@ def sensitivity_sweep(
     for s in sensitivities:
         result = run_accuracy(product_factory, float(s), seed=seed,
                               duration_s=duration_s, include_dos=include_dos,
-                              n_hosts=n_hosts)
+                              n_hosts=n_hosts, fault_plan=fault_plan)
         points.append(SweepPoint(
             sensitivity=float(s),
             false_positive_ratio=result.false_positive_ratio,

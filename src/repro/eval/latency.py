@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -100,8 +101,16 @@ class TimelinessReport:
 
 
 def timeliness_from_accuracy(result: AccuracyResult) -> TimelinessReport:
-    """Average/maximal intrusion-to-notification delay (Table 3)."""
-    delays = list(result.notification_delay.values())
+    """Average/maximal intrusion-to-notification delay (Table 3).
+
+    Only attacks that were actually reported contribute: an attack id
+    that is in ``missed`` or carries a non-finite placeholder delay must
+    not drag the mean toward zero or poison the max -- never-detected
+    attacks are the *false-negative* metric's evidence, not timeliness'.
+    """
+    delays = [delay for attack_id, delay
+              in result.notification_delay.items()
+              if attack_id not in result.missed and math.isfinite(delay)]
     if not delays:
         return TimelinessReport(product=result.product,
                                 mean_report_delay_s=float("inf"),

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dependability import DependabilityReport
 
 from ..core.metric import ObservationMethod
 from ..core.scorecard import Scorecard
@@ -181,6 +184,9 @@ class MeasurementBundle:
     sweep: Optional[SensitivitySweep] = None
     #: wall-clock span of the accuracy scenario (drives operator-workload)
     scenario_duration_s: float = 70.0
+    #: clean-vs-faulted dependability comparison (None unless the battery
+    #: ran with a fault plan)
+    dependability: Optional["DependabilityReport"] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.deployment, Deployment):
@@ -426,3 +432,16 @@ def fill_scorecard(
             method = _AN if _AN in m.methods else _OS
             scorecard.set_score(product, metric, score, method=method,
                                 evidence=evidence)
+    # dependability extension (measured-under-fault evidence): scored only
+    # when the battery ran a fault plan AND the catalog carries the
+    # extension metrics, so plain evaluations stay byte-identical
+    if (measurements.dependability is not None
+            and "Availability Under Faults" in scorecard.catalog):
+        from .dependability import score_dependability
+
+        for metric, (score, evidence, raw) in score_dependability(
+                measurements.dependability).items():
+            m = scorecard.catalog.get(metric)
+            method = _AN if _AN in m.methods else _OS
+            scorecard.set_score(product, metric, score, method=method,
+                                evidence=evidence, raw_value=raw)

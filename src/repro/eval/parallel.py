@@ -132,6 +132,13 @@ def _options_token(options: EvaluationOptions) -> Tuple:
     )
 
 
+def _faults_token(options: EvaluationOptions) -> Tuple:
+    """The fault-plan option fields, in stable form (scenario units only:
+    rate probes never run faults, so their keys stay plan-independent)."""
+    return (options.faults,
+            tuple(float(s) for s in options.fault_severities))
+
+
 def unit_key(unit: WorkUnit, options: EvaluationOptions) -> str:
     """Content hash identifying one unit's result on disk."""
     # a "rate" unit's result does not depend on the other probe rates, so
@@ -140,6 +147,11 @@ def unit_key(unit: WorkUnit, options: EvaluationOptions) -> str:
     token = _options_token(options)
     if unit.kind == "rate":
         token = token[:6] + token[7:]
+    else:
+        # the scenario unit carries the dependability measurement, so the
+        # fault plan participates in its key: faulted and clean runs never
+        # read each other's cache entries
+        token = token + _faults_token(options)
     payload = repr(("repro-eval", __version__, CATALOG_VERSION,
                     unit.product, unit.kind, unit.rate_pps, token))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -26,7 +26,11 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional,
+                    Sequence, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dependability import DependabilityReport
 
 from ..core.catalog import MetricCatalog, default_catalog
 from ..core.requirements import RequirementSet
@@ -90,6 +94,12 @@ class EvaluationOptions:
     #: anomaly scoring path ("fast" | "baseline"); like ``engine``, both
     #: paths score identically, but A/B runs get separate cache entries
     anomaly_path: str = "fast"
+    #: named fault plan for the dependability experiment ("none" skips it
+    #: entirely and keeps the battery byte-identical to a plain run)
+    faults: str = "none"
+    #: severity ladder for the degradation fit (each rung is one extra
+    #: scenario replay on a fresh deployment)
+    fault_severities: Sequence[float] = (0.5, 1.0)
     #: process-pool width; 1 = serial in-process, 0 = one per CPU
     workers: int = 1
     #: on-disk result cache directory; None disables memoization and the
@@ -116,6 +126,9 @@ class ScenarioMeasurement:
     storage_bytes_per_mb: float
     attack_sources: FrozenSet[int]
     scenario_duration_s: float
+    #: clean-vs-faulted comparison; populated only when the options name a
+    #: fault plan (``faults != "none"``)
+    dependability: Optional["DependabilityReport"] = None
 
 
 @dataclass
@@ -189,6 +202,15 @@ def _measure_scenario(factory: ProductFactory,
     latency = measure_induced_latency(deployment)
     overhead = measure_host_overhead(deployment, observe_s=5.0)
 
+    dependability = None
+    if opts.faults != "none":
+        from ..sim.faults import named_plan
+        from .dependability import measure_dependability
+
+        dependability = measure_dependability(
+            factory, opts, named_plan(opts.faults, seed=opts.seed),
+            severities=opts.fault_severities, baseline=accuracy)
+
     return ScenarioMeasurement(
         name=deployment.name,
         accuracy=accuracy,
@@ -199,6 +221,7 @@ def _measure_scenario(factory: ProductFactory,
         storage_bytes_per_mb=storage_bytes / traffic_mb,
         attack_sources=attack_sources,
         scenario_duration_s=scenario.duration_s,
+        dependability=dependability,
     )
 
 
@@ -234,6 +257,7 @@ def assemble_evaluation(
         storage_bytes_per_mb=scenario.storage_bytes_per_mb,
         attack_sources=set(scenario.attack_sources),
         scenario_duration_s=scenario.scenario_duration_s,
+        dependability=scenario.dependability,
     )
     return ProductEvaluation(name=scenario.name, accuracy=scenario.accuracy,
                              throughput=throughput, bundle=bundle)

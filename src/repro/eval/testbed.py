@@ -153,10 +153,17 @@ class EvalTestbed:
             flood_rate_pps=flood_rate_pps)
 
     def run_scenario(self, scenario: Scenario,
-                     settle_s: float = 5.0) -> AccuracyResult:
-        """Replay a scenario through the deployment and score the alerts."""
+                     settle_s: float = 5.0,
+                     sink: Optional[callable] = None) -> AccuracyResult:
+        """Replay a scenario through the deployment and score the alerts.
+
+        ``sink`` overrides the packet entry point (default: the
+        deployment's own ``ingest``) -- a fault injector interposes its
+        link-fault wrapper this way."""
         start = self.engine.now
-        scenario.trace.replay(self.engine, self.deployment.ingest,
+        scenario.trace.replay(self.engine,
+                              sink if sink is not None
+                              else self.deployment.ingest,
                               start_at=start)
         self.engine.run(until=start + scenario.duration_s + settle_s)
         return score_alerts(

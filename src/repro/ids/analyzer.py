@@ -58,6 +58,10 @@ class Analyzer(Component):
 
     kind = Subprocess.ANALYZER
 
+    #: bounded backpressure queue while stalled; detections beyond it are
+    #: shed (with accounting) rather than buffered without limit
+    STALL_QUEUE_LIMIT = 10_000
+
     def __init__(
         self,
         engine: Engine,
@@ -95,6 +99,16 @@ class Analyzer(Component):
         self.history_records = 0
         self.history_evictions = 0
 
+        # graceful-degradation state (dormant until a fault injector uses
+        # the hooks below; clean runs never enter these paths)
+        self.up = True
+        self.stalled = False
+        self.injected_failures = 0
+        self.dropped_down = 0
+        self.stalled_detections = 0
+        self.shed_detections = 0
+        self._stall_queue: List[Detection] = []
+
     # ------------------------------------------------------------------
     def set_sink(self, sink: Callable[[Alert], None]) -> None:
         """Attach the monitor-facing delivery callback (M:1)."""
@@ -104,6 +118,19 @@ class Analyzer(Component):
     def receive(self, det: Detection) -> None:
         """Ingest one sensor detection."""
         self.detections_received += 1
+        if not self.up:
+            self.dropped_down += 1
+            return
+        if self.stalled:
+            if len(self._stall_queue) >= self.STALL_QUEUE_LIMIT:
+                self.shed_detections += 1  # bounded queue: shed, accounted
+                return
+            self._stall_queue.append(det)
+            self.stalled_detections += 1
+            return
+        self._analyze(det)
+
+    def _analyze(self, det: Detection) -> None:
         self._store(det)
         key = (det.category, det.src.value)
         now = det.time
@@ -172,3 +199,38 @@ class Analyzer(Component):
                                     self._sink, alert)
         else:
             self._sink(alert)
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (driven by repro.sim.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def force_fail(self) -> None:
+        """Injected crash: incoming detections are dropped, and any
+        backlog queued by an overlapping stall is lost with it."""
+        if not self.up:
+            return
+        self.up = False
+        self.injected_failures += 1
+        if self._stall_queue:
+            self.dropped_down += len(self._stall_queue)
+            self._stall_queue.clear()
+
+    def force_restore(self) -> None:
+        self.up = True
+
+    def stall(self) -> None:
+        """Injected backpressure: detections queue (bounded) instead of
+        being analyzed, until :meth:`resume` drains them."""
+        self.stalled = True
+
+    def resume(self) -> None:
+        """End a stall and analyze the queued backlog in arrival order.
+
+        Queued detections keep their original timestamps, so their alerts
+        carry the *detection* time but reach the monitor only now -- the
+        timeliness cost of the stall is therefore measurable."""
+        if not self.stalled:
+            return
+        self.stalled = False
+        backlog, self._stall_queue = self._stall_queue, []
+        for det in backlog:
+            self._analyze(det)

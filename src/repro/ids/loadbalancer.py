@@ -83,22 +83,48 @@ class LoadBalancer(Component):
         self.forwarded = 0
         self.dropped = 0
         self.per_sensor_count: Dict[str, int] = {s.name: 0 for s in self.sensors}
-        self._window_start = 0.0
+        # capacity window, anchored at the first counted packet; advances
+        # in whole-window steps from that anchor (never snapped to the
+        # integer clock, which would let a boundary-straddling burst pass
+        # up to twice the capacity)
+        self._window_start: Optional[float] = None
         self._window_count = 0
+        # graceful-degradation state (dormant until a fault injector arms
+        # it; clean runs never enter these paths)
+        self.up = True
+        self.failover = False
+        self.failovers = 0
+        self.recoveries = 0
+        self.dropped_down = 0
+        self.shed_no_sensor = 0
 
     # ------------------------------------------------------------------
     def ingest(self, pkt: Packet) -> None:
         self.received += 1
+        if not self.up:
+            self.dropped_down += 1
+            return
         now = self.engine.now
         if self.capacity_pps is not None:
-            if now - self._window_start >= 1.0:
-                self._window_start = float(int(now))
+            if self._window_start is None:
+                self._window_start = now
+            elif now - self._window_start >= 1.0:
+                # advance by whole windows so the phase stays anchored to
+                # the traffic; the boundary packet counts in the window it
+                # actually falls in
+                self._window_start += float(int(now - self._window_start))
                 self._window_count = 0
             self._window_count += 1
             if self._window_count > self.capacity_pps:
                 self.dropped += 1
                 return
         sensor = self.select(pkt)
+        if self.failover and not sensor.up:
+            sensor = self._failover_target(sensor)
+            if sensor is None:
+                self.shed_no_sensor += 1
+                return
+            self.failovers += 1
         self.per_sensor_count[sensor.name] += 1
         self.forwarded += 1
         if self.induced_latency_s > 0.0:
@@ -109,16 +135,51 @@ class LoadBalancer(Component):
     def select(self, pkt: Packet) -> Sensor:
         raise NotImplementedError
 
+    def _failover_target(self, selected: Sensor) -> Optional[Sensor]:
+        """Next live sensor in ring order after the down selection, or
+        None when every sensor is down (the packet is shed, counted)."""
+        start = self.sensors.index(selected)
+        for offset in range(1, len(self.sensors)):
+            candidate = self.sensors[(start + offset) % len(self.sensors)]
+            if candidate.up:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # degradation hooks (driven by repro.sim.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def force_fail(self) -> None:
+        """Injected balancer outage: every offered packet is dropped."""
+        self.up = False
+
+    def force_restore(self) -> None:
+        self.up = True
+
+    def notify_recovered(self, sensor: Sensor) -> None:
+        """Recovery re-registration: a restored sensor rejoins rotation.
+
+        The base rotation already consults ``sensor.up`` on failover, so
+        the hook only accounts the re-registration; stateful balancers
+        override to refresh their assignment state as well.
+        """
+        self.recoveries += 1
+
     # ------------------------------------------------------------------
     def balance_evenness(self) -> float:
         """Jain's fairness index of the per-sensor assignment counts
-        (1.0 = perfectly even, 1/n = all to one sensor)."""
-        counts = list(self.per_sensor_count.values())
+        (1.0 = perfectly even, 1/n = all to one sensor).
+
+        Every configured sensor participates, so a starved sensor drags
+        the index down even if it never appeared in the counters; a
+        drop-only workload (packets received, none forwarded) scores the
+        all-to-no-sensor worst case 1/n rather than a vacuous 1.0.
+        """
+        counts = [self.per_sensor_count.get(s.name, 0) for s in self.sensors]
         total = sum(counts)
         if total == 0:
-            return 1.0
+            return 1.0 if self.received == 0 else 1.0 / len(counts)
         sq = sum(c * c for c in counts)
-        return (total * total) / (len(counts) * sq) if sq else 1.0
+        return (total * total) / (len(counts) * sq)
 
 
 class NoBalancer(LoadBalancer):
@@ -204,6 +265,13 @@ class DynamicBalancer(LoadBalancer):
             raise ConfigurationError("max_flows must be positive")
         self.max_flows = int(max_flows)
         self._assignment: Dict[FlowKey, Sensor] = {}
+
+    def notify_recovered(self, sensor: Sensor) -> None:
+        """A recovered sensor rejoins least-backlog selection immediately:
+        the sticky table is dropped wholesale (the same cheap eviction used
+        at ``max_flows``) so new selections can use it again."""
+        super().notify_recovered(sensor)
+        self._assignment.clear()
 
     def select(self, pkt: Packet) -> Sensor:
         key = FlowKey.of(pkt)

@@ -65,6 +65,14 @@ class Monitor(Component):
         self.error_reports: List[Tuple[float, str]] = []
         self._responder: Optional[Callable[[ResponseAction, Alert], None]] = None
 
+        # graceful-degradation state (dormant until a fault injector uses
+        # the partition/heal hooks; clean runs never enter these paths)
+        self.partitioned = False
+        self.partitions = 0
+        self.deferred_notifications = 0
+        self.suppressed_responses = 0
+        self._deferred: List[Alert] = []
+
     # ------------------------------------------------------------------
     def set_responder(self, responder: Callable[[ResponseAction, Alert], None]) -> None:
         """Attach the management console's response dispatcher (1:1c)."""
@@ -81,14 +89,46 @@ class Monitor(Component):
             elif action is ResponseAction.LOG_ONLY:
                 pass
             elif self._responder is not None:
-                self._responder(action, alert)
+                if self.partitioned:
+                    # response requests need the (unreachable) management
+                    # console; they are lost, not replayed -- stale
+                    # responses after a partition heals would be wrong
+                    self.suppressed_responses += 1
+                else:
+                    self._responder(action, alert)
             # actions other than NOTIFY/LOG with no console attached are
             # silently unavailable (an IDS without a manager cannot respond)
 
     def _notify(self, alert: Alert) -> None:
+        if self.partitioned:
+            # store-and-forward: notifications queue locally and go out
+            # when the partition heals, at heal time (the delay is what
+            # the timeliness delta measures)
+            self._deferred.append(alert)
+            self.deferred_notifications += 1
+            return
         for channel in self.channels:
             self.notifications.append(
                 Notification(time=self.engine.now, channel=channel, alert=alert))
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (driven by repro.sim.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def partition(self) -> None:
+        """Cut the monitor off from operator and management console."""
+        if self.partitioned:
+            return
+        self.partitioned = True
+        self.partitions += 1
+
+    def heal(self) -> None:
+        """Restore connectivity and flush the deferred notifications."""
+        if not self.partitioned:
+            return
+        self.partitioned = False
+        backlog, self._deferred = self._deferred, []
+        for alert in backlog:
+            self._notify(alert)
 
     def report_error(self, message: str, time: float) -> None:
         """Failure-notification channel used by sensors (Error Reporting)."""

@@ -215,6 +215,9 @@ class Sensor(Component):
         # state / counters
         self.up = True
         self.crashes = 0
+        self.injected_failures = 0
+        self._forced_down = False   # held down by a fault injector
+        self._slowdown = 1.0        # inspection slowdown factor (1.0 = none)
         self.received = 0
         self.processed = 0
         self.dropped_overload = 0
@@ -270,7 +273,9 @@ class Sensor(Component):
             return
         cost_ops = self.packet_cost_ops(pkt)
         start = max(now, self._busy_until)
-        finish = start + cost_ops / self.ops_rate
+        # _slowdown is exactly 1.0 outside an injected overload window, so
+        # the multiplication is bit-neutral for clean runs
+        finish = start + cost_ops * self._slowdown / self.ops_rate
         self._busy_until = finish
         self.busy_ops += cost_ops
         self.engine.schedule_at(finish, self._complete, pkt, now)
@@ -320,6 +325,10 @@ class Sensor(Component):
         self.engine.schedule(self.restart_time_s, self._recover, "service restart")
 
     def _recover(self, how: str) -> None:
+        if self._forced_down:
+            # an injected outage outlives natural recovery: the fault
+            # injector alone decides when a forced-down sensor returns
+            return
         self.up = True
         self._busy_until = self.engine.now
         self._drop_meter = RateMeter(bin_width=0.5, history=8)
@@ -327,6 +336,40 @@ class Sensor(Component):
             # logged and reported only after the fact (the "average" anchor)
             self._error_sink(f"sensor {self.name} recovered after {how}",
                              self.engine.now)
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (driven by repro.sim.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def force_fail(self) -> None:
+        """Injected crash: the sensor drops everything until
+        :meth:`force_restore` (no :class:`FailureMode` self-recovery)."""
+        if self._forced_down:
+            return
+        self._forced_down = True
+        self.injected_failures += 1
+        if self.up:
+            self.up = False
+            self._busy_until = self.engine.now
+
+    def force_restore(self) -> None:
+        """End an injected outage; the sensor comes back with a clean
+        backlog and drop meter (cold restart semantics)."""
+        if not self._forced_down:
+            return
+        self._forced_down = False
+        self.up = True
+        self._busy_until = self.engine.now
+        self._drop_meter = RateMeter(bin_width=0.5, history=8)
+
+    def set_slowdown(self, factor: float) -> None:
+        """Injected overload: every inspection takes ``factor``x as long,
+        so the backlog bound trips earlier and overload drops mount."""
+        if factor < 1.0:
+            raise ConfigurationError("slowdown factor must be >= 1")
+        self._slowdown = float(factor)
+
+    def clear_slowdown(self) -> None:
+        self._slowdown = 1.0
 
     # ------------------------------------------------------------------
     @property

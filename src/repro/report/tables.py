@@ -7,14 +7,19 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import math
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..core.catalog import MetricCatalog, default_catalog
 from ..core.metric import MetricClass
 from ..core.scorecard import Scorecard
 from .render import text_table
 
-__all__ = ["table1", "table2", "table3", "metric_table", "scorecard_table"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..eval.dependability import DependabilityReport
+
+__all__ = ["table1", "table2", "table3", "metric_table", "scorecard_table",
+           "dependability_table"]
 
 
 def metric_table(metric_class: MetricClass,
@@ -80,3 +85,28 @@ def scorecard_table(scorecard: Scorecard,
              if metric_class is None
              else f"Product scorecard -- {metric_class.name.lower()} metrics")
     return text_table(headers, rows, title=title, align_right=True)
+
+
+def _delta_cell(delta: float) -> str:
+    if math.isinf(delta):
+        return "silenced"
+    return f"{delta:+.2f}s"
+
+
+def dependability_table(reports: Sequence["DependabilityReport"]) -> str:
+    """Render the dependability experiment (clean vs faulted runs)."""
+    rows = []
+    for report in reports:
+        rows.append((
+            report.product,
+            report.plan,
+            f"{report.availability:.3f}",
+            f"{report.baseline_detection_ratio:.2f}",
+            f"{report.runs[-1].detection_ratio:.2f}" if report.runs else "-",
+            _delta_cell(report.timeliness_delta_s),
+            f"{report.degradation_slope:.3f}",
+        ))
+    title = "Dependability under injected faults"
+    return text_table(
+        ("Product", "Plan", "Avail", "Det(clean)", "Det(fault)",
+         "Notify delta", "Slope"), rows, title=title, align_right=True)

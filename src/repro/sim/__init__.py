@@ -1,6 +1,14 @@
 """Discrete-event simulation kernel: engine, processes, RNG, resources, stats."""
 
 from .engine import Engine, EventHandle
+from .faults import (
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    named_plan,
+    plan_names,
+)
 from .process import Process, Signal, start
 from .resources import HostCpu, LoadHandle
 from .rng import RngRegistry
@@ -9,6 +17,12 @@ from .stats import Counter, RateMeter, Reservoir, Series, TimeWeighted, Welford
 __all__ = [
     "Engine",
     "EventHandle",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "named_plan",
+    "plan_names",
     "Process",
     "Signal",
     "start",

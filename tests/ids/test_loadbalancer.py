@@ -202,3 +202,132 @@ class TestBalancerCapacity:
     def test_needs_sensors(self):
         with pytest.raises(ConfigurationError):
             HashBalancer(Engine(), "lb", [])
+
+
+class TestCapacityWindowAnchoring:
+    """Regression for the window-anchoring bug: the reset used to snap
+    ``_window_start`` to ``float(int(now))``, so a burst straddling that
+    snapped boundary passed up to twice ``capacity_pps``."""
+
+    def test_boundary_straddling_burst_capped(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 1)
+        lb = NoBalancer(eng, "lb", sensors, capacity_pps=10)
+        # window anchors at the first packet (t=0.90); all 20 packets fall
+        # inside [0.90, 1.90), yet the old logic reset the window at
+        # t=1.10 (snapped anchor 1.0) and forwarded all 20
+        for i in range(10):
+            eng.schedule_at(0.90 + 1e-4 * i, lb.ingest, pkt())
+        for i in range(10):
+            eng.schedule_at(1.10 + 1e-4 * i, lb.ingest, pkt())
+        eng.run()
+        assert sensors[0].received == 10
+        assert lb.dropped == 10
+
+    def test_anchor_advances_in_whole_window_steps(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 1)
+        lb = NoBalancer(eng, "lb", sensors, capacity_pps=10)
+        # bursts at 0.5, 1.7, 2.9: each lands in its own anchored window
+        # ([0.5,1.5), [1.5,2.5), [2.5,3.5)) so every burst is capped alone
+        for burst_start in (0.5, 1.7, 2.9):
+            for i in range(12):
+                eng.schedule_at(burst_start + 1e-4 * i, lb.ingest, pkt())
+        eng.run()
+        assert sensors[0].received == 30
+        assert lb.dropped == 6  # 2 over capacity per burst
+
+    def test_long_gap_still_resets(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 1)
+        lb = NoBalancer(eng, "lb", sensors, capacity_pps=10)
+        for i in range(10):
+            eng.schedule_at(0.25 + 1e-4 * i, lb.ingest, pkt())
+        # 5.75 s later: the anchor advances by whole windows to 5.25 and
+        # the count resets, so the second burst forwards in full
+        for i in range(10):
+            eng.schedule_at(6.00 + 1e-4 * i, lb.ingest, pkt())
+        eng.run()
+        assert sensors[0].received == 20
+        assert lb.dropped == 0
+
+
+class TestEvennessDefinition:
+    def test_starved_sensor_drags_index_down(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 4)
+        lb = HashBalancer(eng, "lb", sensors)
+        # one flow only: a single sensor gets everything, three starve
+        for _ in range(40):
+            lb.ingest(pkt(sport=1234))
+        eng.run()
+        assert lb.balance_evenness() == pytest.approx(0.25)
+
+    def test_drop_only_workload_is_worst_case_not_vacuous(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 4)
+        lb = HashBalancer(eng, "lb", sensors)
+        lb.force_fail()
+        for _ in range(10):
+            lb.ingest(pkt())
+        eng.run()
+        assert lb.received == 10 and lb.forwarded == 0
+        assert lb.balance_evenness() == pytest.approx(0.25)
+
+    def test_no_traffic_is_neutral(self):
+        eng = Engine()
+        lb = HashBalancer(eng, "lb", make_sensors(eng, 4))
+        assert lb.balance_evenness() == 1.0
+
+
+class TestFailover:
+    def test_reselects_around_down_sensor(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 3)
+        lb = HashBalancer(eng, "lb", sensors)
+        lb.failover = True
+        target = lb.select(pkt(sport=4242))
+        target.force_fail()
+        lb.ingest(pkt(sport=4242))
+        eng.run()
+        assert target.received == 0
+        assert lb.failovers == 1
+        assert sum(s.received for s in sensors) == 1
+
+    def test_sheds_when_every_sensor_down(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 2)
+        lb = HashBalancer(eng, "lb", sensors)
+        lb.failover = True
+        for s in sensors:
+            s.force_fail()
+        lb.ingest(pkt())
+        eng.run()
+        assert lb.shed_no_sensor == 1
+        assert lb.forwarded == 0
+
+    def test_dormant_without_failover_flag(self):
+        # clean runs never consult sensor.up: the selection is unchanged
+        eng = Engine()
+        sensors = make_sensors(eng, 3)
+        lb = HashBalancer(eng, "lb", sensors)
+        target = lb.select(pkt(sport=4242))
+        target.force_fail()
+        lb.ingest(pkt(sport=4242))
+        eng.run()
+        assert lb.failovers == 0
+        assert lb.per_sensor_count[target.name] == 1
+
+    def test_recovered_sensor_rejoins_dynamic_assignment(self):
+        eng = Engine()
+        sensors = make_sensors(eng, 2)
+        lb = DynamicBalancer(eng, "lb", sensors)
+        lb.failover = True
+        sensors[0].force_fail()
+        lb.ingest(pkt(sport=5000))  # sticks the flow on sensors[1]
+        sensors[0].force_restore()
+        lb.notify_recovered(sensors[0])
+        assert lb.recoveries == 1
+        lb.ingest(pkt(sport=5000))  # sticky table cleared: re-balances
+        eng.run()
+        assert sensors[0].received + sensors[1].received == 2
